@@ -1,0 +1,77 @@
+"""Ablations of MorphCache's design choices (DESIGN.md §4).
+
+Four variants against the default controller on a mixed workload sample:
+
+- *split-aggressive* conflict policy (the paper's §2.4 alternative);
+- *no polluter veto* — streaming cores may be chosen as merge donors;
+- *no hysteresis* — merged groups may split immediately and split pairs may
+  re-merge immediately (reconfiguration churn unbounded);
+- *modulo hash* ACFVs instead of XOR-fold.
+
+The interesting outputs are throughput deltas and the reconfiguration
+counts (hysteresis exists to bound churn, so removing it must increase the
+count).
+"""
+
+from benchmarks.common import (
+    format_rows,
+    geometric_mean,
+    report,
+    run,
+    system_for,
+)
+from repro.config import MorphConfig
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
+
+MIX_SAMPLE = ["MIX 05", "MIX 08", "MIX 11"]
+EPOCHS = 4
+
+VARIANTS = {
+    "default": MorphConfig(),
+    "split-aggressive": MorphConfig(conflict_policy="split"),
+    "no polluter veto": MorphConfig(polluter_veto=False),
+    "no hysteresis": MorphConfig(hysteresis=False),
+    "modulo hash": MorphConfig(hash_name="modulo"),
+}
+
+
+def _collect():
+    table = {}
+    churn = {}
+    for mix_name in MIX_SAMPLE:
+        workload = Workload.from_mix(mix_by_name(mix_name))
+        base = run("(16:1:1)", workload, epochs=EPOCHS)
+        row = {}
+        for variant, morph in VARIANTS.items():
+            result = run("morphcache", workload, epochs=EPOCHS, morph=morph,
+                         keep_system=True)
+            system = system_for("morphcache", workload, epochs=EPOCHS,
+                                morph=morph)
+            row[variant] = result.mean_throughput / base.mean_throughput
+            churn.setdefault(variant, []).append(
+                system.controller.reconfigurations
+            )
+        table[mix_name] = row
+    return table, churn
+
+
+def test_ablations(benchmark):
+    table, churn = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    variants = list(VARIANTS)
+    rows = [[name] + [f"{values[v]:.3f}" for v in variants]
+            for name, values in table.items()]
+    means = {v: geometric_mean([row[v] for row in table.values()])
+             for v in variants}
+    rows.append(["geomean"] + [f"{means[v]:.3f}" for v in variants])
+    churn_means = {v: sum(c) / len(c) for v, c in churn.items()}
+    report("ablations",
+           "Ablations: MorphCache variants, normalised to (16:1:1)\n"
+           + format_rows(["mix"] + variants, rows)
+           + "\nmean reconfigurations per run: "
+           + ", ".join(f"{v}={churn_means[v]:.0f}" for v in variants))
+
+    # Every variant must function.
+    assert all(value > 0.7 for row in table.values() for value in row.values())
+    # Hysteresis bounds churn: removing it must not reduce reconfigurations.
+    assert churn_means["no hysteresis"] >= churn_means["default"]

@@ -1,0 +1,73 @@
+"""Figure 2: the motivation study.
+
+(a) Throughput of MIX 01 over execution under four static topologies,
+    normalised per epoch to the all-shared baseline — the best topology
+    varies over time.
+(b) dedup vs freqmine under four topologies — no single topology is best
+    for both applications.
+"""
+
+from benchmarks.common import (
+    BASELINE,
+    BENCH_CONFIG,
+    EPOCHS,
+    STATICS,
+    format_rows,
+    report,
+    run,
+)
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
+
+
+def _figure_2a():
+    workload = Workload.from_mix(mix_by_name("MIX 01"))
+    series = {}
+    for label in STATICS:
+        series[label] = run(label, workload, epochs=EPOCHS).throughput_series()
+    base = series[BASELINE]
+    rows = []
+    for label in STATICS:
+        if label == BASELINE:
+            continue
+        normalised = [value / base[i] for i, value in enumerate(series[label])]
+        rows.append([label] + [f"{v:.3f}" for v in normalised])
+    header = ["topology"] + [f"epoch{i}" for i in range(EPOCHS)]
+    return format_rows(header, rows), series
+
+
+def _figure_2b():
+    rows = []
+    winners = {}
+    for name in ("dedup", "freqmine"):
+        workload = Workload.from_parsec(name)
+        results = {label: run(label, workload, epochs=EPOCHS)
+                   for label in STATICS}
+        base = results[BASELINE].mean_throughput
+        normalised = {label: results[label].mean_throughput / base
+                      for label in STATICS}
+        winners[name] = max(normalised, key=normalised.get)
+        rows.append([name] + [f"{normalised[label]:.3f}" for label in STATICS])
+    return format_rows(["benchmark"] + STATICS, rows), winners
+
+
+def test_fig02_motivation(benchmark):
+    def produce():
+        table_a, series = _figure_2a()
+        table_b, winners = _figure_2b()
+        return table_a, series, table_b, winners
+
+    table_a, series, table_b, winners = benchmark.pedantic(
+        produce, rounds=1, iterations=1
+    )
+    report("fig02_motivation",
+           "Figure 2(a): MIX 01 per-epoch throughput normalised to "
+           f"{BASELINE}\n{table_a}\n\n"
+           "Figure 2(b): PARSEC apps under static topologies "
+           f"(paper: dedup prefers (4:4:1), freqmine (1:16:1))\n{table_b}\n\n"
+           f"winners: {winners}")
+
+    # Shape assertions: every topology produced every epoch, and the two
+    # PARSEC applications exercise the comparison at all.
+    assert all(len(s) == EPOCHS for s in series.values())
+    assert set(winners) == {"dedup", "freqmine"}

@@ -1,0 +1,75 @@
+"""Figure 14: weighted speedup and fair speedup versus the best static.
+
+For each mix, computes WS and FS of MorphCache and of each static topology
+(normalised against each application's alone-run IPC), and compares
+MorphCache against the baseline and the best static configuration on both
+metrics.  The paper reports +32.8 %/+12.3 % (WS, vs baseline / best static
+(2:2:4)) and +29.7 %/+10.8 % (FS, best static (4:4:1)).
+"""
+
+from benchmarks.common import (
+    BASELINE,
+    BENCH_CONFIG,
+    SEED,
+    STATICS,
+    format_rows,
+    geometric_mean,
+    report,
+    run,
+)
+from repro.metrics import fair_speedup, weighted_speedup
+from repro.sim.experiment import alone_ipcs
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+SCHEMES = STATICS + ["(2:2:4)", "morphcache"]
+
+
+def _speedups():
+    table = {}
+    for mix in MIXES:
+        workload = Workload.from_mix(mix)
+        alone = alone_ipcs(mix.benchmark_names, BENCH_CONFIG, seed=SEED,
+                           epochs=1)
+        per_scheme = {}
+        for scheme in SCHEMES:
+            result = run(scheme, workload)
+            ipcs = [result.mean_ipcs()[c] for c in range(16)]
+            per_scheme[scheme] = (
+                weighted_speedup(ipcs, alone),
+                fair_speedup(ipcs, alone),
+            )
+        table[mix.name] = per_scheme
+    return table
+
+
+def test_fig14_ws_fs(benchmark):
+    table = benchmark.pedantic(_speedups, rounds=1, iterations=1)
+    rows = []
+    for mix_name, per_scheme in table.items():
+        base_ws, base_fs = per_scheme[BASELINE]
+        morph_ws, morph_fs = per_scheme["morphcache"]
+        best_ws = max(ws for ws, _ in per_scheme.values())
+        best_fs = max(fs for _, fs in per_scheme.values())
+        rows.append([
+            mix_name,
+            f"{morph_ws / base_ws:.3f}", f"{morph_ws / best_ws:.3f}",
+            f"{morph_fs / base_fs:.3f}", f"{morph_fs / best_fs:.3f}",
+        ])
+    header = ["mix", "WS/base", "WS/best", "FS/base", "FS/best"]
+    ws_vs_base = geometric_mean([float(r[1]) for r in rows])
+    fs_vs_base = geometric_mean([float(r[3]) for r in rows])
+    report("fig14_ws_fs",
+           "Figure 14: MorphCache weighted/fair speedup relative to the "
+           "baseline and the best scheme per mix\n"
+           "(paper: WS +32.8% vs base, +12.3% vs best static (2:2:4); "
+           "FS +29.7% / +10.8% vs (4:4:1))\n"
+           + format_rows(header, rows)
+           + f"\ngeomean: WS/base {ws_vs_base:.3f}, FS/base {fs_vs_base:.3f}")
+
+    assert ws_vs_base > 0.95
+    assert fs_vs_base > 0.95
+    # FS is a harmonic mean: it can never exceed WS for the same run.
+    for per_scheme in table.values():
+        ws, fs = per_scheme["morphcache"]
+        assert fs <= ws + 1e-9

@@ -1,0 +1,50 @@
+"""Figure 16: MorphCache versus static topologies on the PARSEC suite.
+
+Each benchmark runs as 16 threads sharing an address space; performance is
+mean throughput normalised to the shared baseline.  The paper reports
++25.6 % average over the baseline and singles out facesim, ferret, freqmine
+and x264 (high spatial ACF variance) as the biggest winners.
+"""
+
+from benchmarks.common import (
+    STATICS,
+    format_rows,
+    geometric_mean,
+    normalized,
+    parsec_workloads,
+    report,
+    run,
+)
+
+SCHEMES = STATICS + ["morphcache"]
+
+
+def _run_all():
+    table = {}
+    for workload in parsec_workloads():
+        results = {scheme: run(scheme, workload) for scheme in SCHEMES}
+        table[workload.name] = normalized(results)
+    return table
+
+
+def test_fig16_multithreaded(benchmark):
+    table = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = [[name] + [f"{values[s]:.3f}" for s in SCHEMES]
+            for name, values in table.items()]
+    means = {s: geometric_mean([v[s] for v in table.values()]) for s in SCHEMES}
+    rows.append(["geomean"] + [f"{means[s]:.3f}" for s in SCHEMES])
+    report("fig16_multithreaded",
+           "Figure 16: PARSEC throughput normalised to (16:1:1)\n"
+           "(paper: MorphCache +25.6% avg; facesim/ferret/freqmine/x264 "
+           "gain most)\n" + format_rows(["benchmark"] + SCHEMES, rows))
+
+    # Shape: under the paper's flat-latency accounting for statics, the
+    # all-shared static pools every thread's data for free, so it dominates
+    # on this substrate (the paper's +25.6 % margin does not carry over —
+    # see EXPERIMENTS.md).  The reproducible claims: MorphCache is at least
+    # as good as the private configuration it starts from (its sharing
+    # merges pay for themselves) and never collapses on any application.
+    morph = means["morphcache"]
+    assert morph > means["(1:1:16)"] - 0.06
+    assert morph > 0.75
+    assert all(values["morphcache"] > 0.6 for values in table.values())

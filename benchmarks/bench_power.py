@@ -1,0 +1,53 @@
+"""Segmented-bus energy (the paper's stated future work, quantified).
+
+Runs MorphCache on a sample of mixes, collects the bus traffic its merged
+groups generated, and compares the per-transaction energy of the segmented
+bus against a monolithic shared bus carrying the same traffic.
+"""
+
+from benchmarks.common import format_rows, report, run, system_for
+from repro.interconnect.power import (
+    SegmentedBusPowerModel,
+    traffic_from_hierarchy_stats,
+)
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
+
+MIX_SAMPLE = ["MIX 05", "MIX 08", "MIX 11"]
+EPOCHS = 4
+
+
+def _collect():
+    model = SegmentedBusPowerModel(16)
+    rows = {}
+    for mix_name in MIX_SAMPLE:
+        workload = Workload.from_mix(mix_by_name(mix_name))
+        run("morphcache", workload, epochs=EPOCHS, keep_system=True)
+        system = system_for("morphcache", workload, epochs=EPOCHS)
+        traffic = traffic_from_hierarchy_stats(system.hierarchy)
+        groups = system.hierarchy.l2_groups
+        segmented = model.report(groups, traffic)
+        monolithic = model.monolithic_report(sum(traffic.values()) or 1)
+        savings = model.savings_vs_monolithic(groups, traffic)
+        rows[mix_name] = (sum(traffic.values()), segmented.total_pj,
+                          monolithic.total_pj, savings)
+    return rows
+
+
+def test_power(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = [[name, str(txns), f"{seg:.2f}", f"{mono:.2f}", f"{savings:.0%}"]
+             for name, (txns, seg, mono, savings) in rows.items()]
+    report("power",
+           "Segmented-bus energy per transaction vs a monolithic bus\n"
+           "(the paper's future work: quantify the segmented bus's power "
+           "advantage)\n"
+           + format_rows(["mix", "bus txns", "segmented pJ", "monolithic pJ",
+                          "savings"], table))
+
+    # Wherever MorphCache created bus traffic, segmentation must not cost
+    # more than the monolithic bus.
+    for name, (txns, seg, mono, savings) in rows.items():
+        if txns:
+            assert seg <= mono + 1e-9
+            assert savings >= 0.0

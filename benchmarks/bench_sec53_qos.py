@@ -1,0 +1,56 @@
+"""Section 5.3: QoS-aware MSAT throttling.
+
+The merge-aggressive policy can hurt individual applications; throttling
+the MSAT up after merges that increase an application's misses steers the
+system back toward the private (fair-share) configuration.  The figure of
+merit: the worst per-application slowdown relative to the private
+configuration must improve (or at least not degrade) with QoS enabled,
+ideally approaching 1.0 (no application below its fair share).
+"""
+
+from benchmarks.common import BENCH_CONFIG, format_rows, report, run
+from repro.config import MorphConfig
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
+
+MIX_SAMPLE = ["MIX 05", "MIX 11"]
+EPOCHS = 5
+
+
+def _worst_relative_ipc(result, private):
+    morph_ipcs = result.mean_ipcs()
+    private_ipcs = private.mean_ipcs()
+    return min(morph_ipcs[c] / private_ipcs[c] for c in morph_ipcs)
+
+
+def _collect():
+    rows = {}
+    for name in MIX_SAMPLE:
+        workload = Workload.from_mix(mix_by_name(name))
+        private = run("(1:1:16)", workload, epochs=EPOCHS)
+        plain = run("morphcache", workload, epochs=EPOCHS)
+        qos = run("morphcache", workload, epochs=EPOCHS,
+                  morph=MorphConfig(qos=True))
+        rows[name] = (
+            _worst_relative_ipc(plain, private),
+            _worst_relative_ipc(qos, private),
+            qos.mean_throughput / plain.mean_throughput,
+        )
+    return rows
+
+
+def test_sec53_qos(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = [[name, f"{plain:.3f}", f"{qos:.3f}", f"{ratio:.3f}"]
+             for name, (plain, qos, ratio) in rows.items()]
+    report("sec53_qos",
+           "Section 5.3: worst per-application IPC relative to the private "
+           "fair-share configuration\n(paper: QoS throttling prevents any "
+           "application dropping below its fair share)\n"
+           + format_rows(["mix", "no QoS", "QoS", "QoS thr/plain"], table))
+
+    for name, (plain, qos, ratio) in rows.items():
+        # QoS must not make the worst victim materially worse, and the
+        # overall throughput cost of QoS must be bounded.
+        assert qos >= plain - 0.10
+        assert ratio > 0.85

@@ -1,0 +1,55 @@
+"""Section 5.5: relaxed sharing policies.
+
+The paper evaluates two relaxations of the buddy policy: allowing groups
+whose size is not a power of two (+3.6 % throughput) and additionally
+allowing non-neighbouring slices to share (-7.1 %, because distant-slice
+latency dominates).  Here the non-neighbour variant also pays the distance
+penalty through the larger physical spans its groups create.
+"""
+
+from benchmarks.common import format_rows, geometric_mean, report, run
+from repro.config import MorphConfig
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
+
+MIX_SAMPLE = ["MIX 05", "MIX 08", "MIX 11"]
+EPOCHS = 4
+
+POLICIES = {
+    "default (buddy)": MorphConfig(),
+    "arbitrary sizes": MorphConfig(allow_arbitrary_sizes=True),
+    "non-neighbours": MorphConfig(allow_arbitrary_sizes=True,
+                                  allow_non_neighbors=True),
+}
+
+
+def _collect():
+    table = {}
+    for name in MIX_SAMPLE:
+        workload = Workload.from_mix(mix_by_name(name))
+        base = run("(16:1:1)", workload, epochs=EPOCHS)
+        table[name] = {
+            policy: run("morphcache", workload, epochs=EPOCHS,
+                        morph=morph).mean_throughput / base.mean_throughput
+            for policy, morph in POLICIES.items()
+        }
+    return table
+
+
+def test_sec55_extensions(benchmark):
+    table = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    policies = list(POLICIES)
+    rows = [[name] + [f"{values[p]:.3f}" for p in policies]
+            for name, values in table.items()]
+    means = {p: geometric_mean([v[p] for v in table.values()])
+             for p in policies}
+    rows.append(["geomean"] + [f"{means[p]:.3f}" for p in policies])
+    report("sec55_extensions",
+           "Section 5.5: relaxed-topology policies, normalised to (16:1:1)\n"
+           "(paper: arbitrary sizes +3.6% over default; non-neighbour "
+           "sharing -7.1%)\n" + format_rows(["mix"] + policies, rows))
+
+    # Shape: all policies run; the non-neighbour policy does not beat the
+    # arbitrary-size policy (distance costs, the paper's conclusion).
+    assert all(v > 0.7 for values in table.values() for v in values.values())
+    assert means["non-neighbours"] <= means["arbitrary sizes"] + 0.05

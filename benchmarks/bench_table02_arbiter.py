@@ -1,0 +1,44 @@
+"""Tables 1 and 2: segmented-bus arbiter area and delay.
+
+Regenerates the synthesis-result table from the analytic timing model and
+the Figure 12 floorplan, and cross-checks the behavioural arbiter tree
+against the 2-cycle-grant/1-cycle-transfer protocol those delays imply.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.interconnect import ArbiterTimingModel, ArbiterTree, Floorplan
+
+
+def _build():
+    model = ArbiterTimingModel()
+    plan = Floorplan()
+    tree = ArbiterTree(16)
+    tree.configure_groups([tuple(range(0, 8)), tuple(range(8, 16))])
+    transactions = tree.simulate_transactions({0: 0, 8: 0})
+    return model, plan, transactions
+
+
+def test_table02_arbiter(benchmark):
+    model, plan, transactions = benchmark.pedantic(_build, rounds=1,
+                                                   iterations=1)
+    geometry = (f"floorplan-derived wire paths: "
+                f"L2 {plan.l2_max_wire_mm():.2f} mm "
+                f"(paper-implied {0.31 / 0.038:.2f} mm), "
+                f"L3 {plan.l3_max_wire_mm():.2f} mm "
+                f"(paper-implied {0.40 / 0.038:.2f} mm)")
+    report("table02_arbiter",
+           model.format_table2() + "\n\n" + geometry + "\n\n"
+           f"behavioural check: parallel transactions in disjoint domains "
+           f"complete at bus cycle {max(t for _, t in transactions.values())} "
+           "(grant at +2, transfer at +3, as in Section 3.2)")
+
+    l2, l3 = model.l2_bus(), model.l3_bus()
+    assert l2.total_area_um2 == pytest.approx(160.5, abs=0.1)
+    assert l3.total_area_um2 == pytest.approx(343.9, abs=0.1)
+    assert model.max_frequency_ghz() == pytest.approx(1.12, abs=0.01)
+    assert model.transaction_cpu_cycles() == 15
+    assert model.transaction_cpu_cycles(pipelined=True) == 10
+    # Both halves of the chip complete their transfer in parallel at t=3.
+    assert all(done == (2, 3) for done in transactions.values())

@@ -1,0 +1,42 @@
+"""Quickstart: MorphCache vs the shared baseline on one workload mix.
+
+Builds the Table 3 machine at example scale, runs MIX 08 (a balanced mix
+with all four application classes) under the all-shared static topology and
+under MorphCache, and prints the headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Workload, config, mix_by_name, run_scheme
+from repro.config import format_table3
+
+
+def main() -> None:
+    machine = config.preset("small")
+    print("Machine (Table 3 at 1/32 scale)")
+    print(format_table3(machine))
+    print()
+
+    workload = Workload.from_mix(mix_by_name("MIX 08"))
+    print(f"Workload: {workload.name} — "
+          f"{', '.join(m.name for m in workload.models[:4])}, ...")
+    print()
+
+    baseline = run_scheme("(16:1:1)", workload, machine, seed=1, epochs=3)
+    private = run_scheme("(1:1:16)", workload, machine, seed=1, epochs=3)
+    morph = run_scheme("morphcache", workload, machine, seed=1, epochs=3)
+
+    base = baseline.mean_throughput
+    print(f"{'scheme':12} {'throughput':>10} {'vs shared':>10}")
+    for result in (baseline, private, morph):
+        print(f"{result.scheme_name:12} {result.mean_throughput:10.3f} "
+              f"{result.mean_throughput / base:10.3f}")
+    print()
+    print("Per-epoch topology chosen by MorphCache:")
+    for epoch in morph.epochs:
+        print(f"  epoch {epoch.epoch}: throughput {epoch.throughput:.3f}  "
+              f"topology {epoch.topology_label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Extensions tour: tile-based scaling and segmented-bus energy.
+
+Two of the paper's forward-looking points, implemented:
+
+1. Section 5.5: beyond 16 cores, build tiles of at-most-16-core MorphCache
+   islands — run a 32-core workload on a 2-tile system and watch each tile
+   reconfigure independently.
+2. The conclusion's future work: quantify the segmented bus's power
+   advantage — compare per-transaction energy against a monolithic bus for
+   the traffic a MorphCache run actually generated.
+
+Run:  python examples/scaling_and_power.py
+"""
+
+from repro import Workload, config, mix_by_name
+from repro.core.tiles import TiledMorphCache
+from repro.interconnect.power import (
+    SegmentedBusPowerModel,
+    traffic_from_hierarchy_stats,
+)
+from repro.render import render_topology
+from repro.sim.engine import simulate
+from repro.sim.experiment import build_system
+from repro.workloads import mix_by_name
+
+
+def tiled_demo() -> None:
+    print("=== 32 cores as two 16-core MorphCache tiles ===")
+    machine = config.preset("tiny")
+    tiled = TiledMorphCache(machine, n_tiles=2)
+    mix_a = mix_by_name("MIX 08")
+    mix_b = mix_by_name("MIX 11")
+    models = tuple(b.model for b in mix_a.benchmarks) \
+        + tuple(b.model for b in mix_b.benchmarks)
+
+    threads = []
+    from repro.workloads.synthetic import SyntheticThread
+    for core, model in enumerate(models):
+        threads.append(SyntheticThread(model, core, machine.l2_slice,
+                                       machine.l3_slice, seed=4))
+    for epoch in range(3):
+        traces = [t.generate(500) for t in threads]
+        for i in range(500):
+            for core in range(32):
+                tiled.access(core, int(traces[core].lines[i]),
+                             bool(traces[core].writes[i]))
+        tiled.end_epoch()
+    for index, label in enumerate(tiled.tile_labels()):
+        print(f"tile {index}: {label[:70]}")
+    print(f"total reconfigurations across tiles: {tiled.reconfigurations}")
+    tiled.check_inclusion()
+    print("inclusion holds in every tile\n")
+
+
+def _remote(system, level, core):
+    stats = system.hierarchy.stats.cores[core]
+    return stats.l2_remote_hits if level == "l2" else stats.l3_remote_hits
+
+
+def power_demo() -> None:
+    print("=== Segmented-bus energy vs a monolithic bus ===")
+    machine = config.preset("small")
+    # An adversarial layout that reliably exercises merging: capacity-
+    # starved cactusADM threads alternating with near-idle libquantum.
+    from repro.workloads import spec_benchmark
+    models = tuple(
+        spec_benchmark("cactusADM" if i % 2 == 0 else "libquantum").model
+        for i in range(16)
+    )
+    workload = Workload(name="cactus/libquantum alternating", models=models)
+    system = build_system("morphcache", machine, workload, seed=4)
+    threads = workload.build_threads(machine, seed=4)
+
+    # Accumulate per-group bus traffic epoch by epoch: the topology (and
+    # hence the electrical domains) changes at every boundary.
+    model = SegmentedBusPowerModel(16)
+    traffic = {}
+    last_remote = {(level, c): 0 for level in ("l2", "l3")
+                   for c in range(16)}
+    for _ in range(5):
+        traces = [t.generate(2000) for t in threads]
+        for i in range(2000):
+            for core in range(16):
+                system.access(core, int(traces[core].lines[i]),
+                              bool(traces[core].writes[i]))
+        for level, groups in (("l2", system.hierarchy.l2_groups),
+                              ("l3", system.hierarchy.l3_groups)):
+            for group in groups:
+                if len(group) < 2:
+                    continue
+                remote = sum(_remote(system, level, c) - last_remote[(level, c)]
+                             for c in group)
+                traffic[group] = traffic.get(group, 0) + remote
+        for core in range(16):
+            for level in ("l2", "l3"):
+                last_remote[(level, core)] = _remote(system, level, core)
+        system.end_epoch()
+
+    print("final topology:")
+    print(render_topology(system.hierarchy.l2_groups,
+                          system.hierarchy.l3_groups))
+    groups = list(traffic)
+    segmented = model.report(groups, traffic)
+    monolithic = model.monolithic_report(sum(traffic.values()) or 1)
+    print(f"\nbus transactions observed: {sum(traffic.values())}")
+    print(f"segmented:  {segmented.total_pj:.2f} pJ/transaction "
+          f"(mean domain span {segmented.mean_domain_span_mm:.1f} mm)")
+    print(f"monolithic: {monolithic.total_pj:.2f} pJ/transaction "
+          f"(span {monolithic.mean_domain_span_mm:.1f} mm)")
+    if sum(traffic.values()):
+        print(f"savings: {model.savings_vs_monolithic(groups, traffic):.0%}")
+
+
+if __name__ == "__main__":
+    tiled_demo()
+    power_demo()

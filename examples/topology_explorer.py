@@ -1,0 +1,62 @@
+"""Topology explorer: sweep every symmetric (x:y:z) configuration.
+
+Enumerates all legal symmetric topologies of the 16-core machine, runs one
+workload mix under each, and ranks them — then shows where MorphCache and
+the per-epoch-best (ideal offline) land.  This reproduces the spirit of the
+paper's Figure 2/15 analysis for any mix.
+
+Run:  python examples/topology_explorer.py [mix-number]
+"""
+
+import sys
+
+from repro import Workload, config, mix_by_name, run_scheme
+from repro.baselines import ideal_offline
+
+
+def symmetric_labels(cores: int = 16):
+    """All (x:y:z) with x*y*z == cores, powers of two."""
+    labels = []
+    x = 1
+    while x <= cores:
+        y = 1
+        while x * y <= cores:
+            z = cores // (x * y)
+            if x * y * z == cores:
+                labels.append(f"({x}:{y}:{z})")
+            y *= 2
+        x *= 2
+    return labels
+
+
+def main(mix_name: str = "8") -> None:
+    machine = config.preset("small").with_(accesses_per_core_per_epoch=2000)
+    workload = Workload.from_mix(mix_by_name(mix_name))
+    labels = symmetric_labels(machine.cores)
+    print(f"{workload.name}: sweeping {len(labels)} symmetric topologies\n")
+
+    runs = {}
+    for label in labels:
+        runs[label] = run_scheme(label, workload, machine, seed=4, epochs=3)
+    morph = run_scheme("morphcache", workload, machine, seed=4, epochs=3)
+    ideal = ideal_offline(list(runs.values()))
+
+    base = runs["(16:1:1)"].mean_throughput
+    ranking = sorted(runs.items(), key=lambda kv: -kv[1].mean_throughput)
+    print(f"{'topology':12} {'throughput':>10} {'vs shared':>10}")
+    for label, result in ranking:
+        print(f"{label:12} {result.mean_throughput:10.3f} "
+              f"{result.mean_throughput / base:10.3f}")
+    print("-" * 34)
+    print(f"{'morphcache':12} {morph.mean_throughput:10.3f} "
+          f"{morph.mean_throughput / base:10.3f}")
+    print(f"{'ideal':12} {ideal.mean_throughput:10.3f} "
+          f"{ideal.mean_throughput / base:10.3f}")
+    print(f"\nideal's per-epoch choices: "
+          f"{[e.topology_label for e in ideal.epochs]}")
+    print(f"morphcache reaches {morph.mean_throughput / ideal.mean_throughput:.1%} "
+          "of the ideal offline scheme (paper: ~97%)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "8")

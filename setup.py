@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The environment has setuptools but no ``wheel`` distribution, so PEP 660
+editable installs fail with ``invalid command 'bdist_wheel'``.  Keeping a
+setup.py lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use
+the legacy develop path.
+"""
+from setuptools import setup
+
+setup()

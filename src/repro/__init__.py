@@ -1,0 +1,57 @@
+"""MorphCache reproduction: a reconfigurable adaptive multi-level cache
+hierarchy (Srikantaiah et al., HPCA 2011), rebuilt as a pure-Python library.
+
+Quick start::
+
+    from repro import config, Workload, run_scheme, mix_by_name
+
+    machine = config.preset("small")
+    workload = Workload.from_mix(mix_by_name("MIX 05"))
+    morph = run_scheme("morphcache", workload, machine, seed=1)
+    base = run_scheme("(16:1:1)", workload, machine, seed=1)
+    print(morph.mean_throughput / base.mean_throughput)
+
+Packages:
+
+- :mod:`repro.config` — Table 3 machine descriptions and scale presets.
+- :mod:`repro.workloads` — synthetic SPEC/PARSEC models (Table 4/5).
+- :mod:`repro.caches` — slices, merged groups, the inclusive hierarchy.
+- :mod:`repro.interconnect` — segmented bus, arbiters, Table 1/2 timing.
+- :mod:`repro.core` — MorphCache itself: ACFVs, topology, decisions, QoS.
+- :mod:`repro.baselines` — static topologies, PIPP, DSR, ideal offline.
+- :mod:`repro.cpu` / :mod:`repro.sim` — core timing and the epoch engine.
+- :mod:`repro.metrics` — throughput, weighted/fair speedup, correlation.
+"""
+
+from repro import config
+from repro.config import MachineConfig, MorphConfig, MsatConfig, preset
+from repro.core import MorphCacheController
+from repro.cpu import CmpSystem
+from repro.metrics import fair_speedup, throughput, weighted_speedup
+from repro.sim import RunResult, Workload, alone_ipcs, run_scheme, simulate
+from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "preset",
+    "MachineConfig",
+    "MorphConfig",
+    "MsatConfig",
+    "MorphCacheController",
+    "CmpSystem",
+    "Workload",
+    "RunResult",
+    "run_scheme",
+    "simulate",
+    "alone_ipcs",
+    "throughput",
+    "weighted_speedup",
+    "fair_speedup",
+    "MIXES",
+    "mix_by_name",
+    "SPEC_BENCHMARKS",
+    "PARSEC_BENCHMARKS",
+    "__version__",
+]

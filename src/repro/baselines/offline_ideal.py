@@ -1,0 +1,45 @@
+"""The ideal offline scheme of Figure 15.
+
+The paper compares MorphCache against an impractical oracle that, at the
+beginning of each epoch, switches to whichever static configuration will
+perform best *for that epoch* (knowledge only obtainable by running the
+workload under every configuration offline).  Here that is realised
+literally: given the per-epoch results of the static-topology runs, the
+ideal scheme's epoch series is the pointwise maximum over configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.sim.engine import EpochResult, RunResult
+
+
+def ideal_offline(static_runs: Sequence[RunResult]) -> RunResult:
+    """Combine static runs into the per-epoch-best oracle run.
+
+    All runs must cover the same workload and epoch count.  Each epoch of
+    the result copies the epoch of the best-throughput static configuration
+    and labels it with that configuration.
+    """
+    if not static_runs:
+        raise ValueError("need at least one static run")
+    workload_names = {run.workload_name for run in static_runs}
+    if len(workload_names) != 1:
+        raise ValueError(f"runs cover different workloads: {workload_names}")
+    epoch_counts = {len(run.epochs) for run in static_runs}
+    if len(epoch_counts) != 1:
+        raise ValueError(f"runs have different epoch counts: {epoch_counts}")
+
+    result = RunResult(workload_name=static_runs[0].workload_name,
+                       scheme_name="ideal-offline")
+    for index in range(epoch_counts.pop()):
+        best = max(static_runs, key=lambda run: run.epochs[index].throughput)
+        source = best.epochs[index]
+        result.epochs.append(EpochResult(
+            epoch=index,
+            ipcs=dict(source.ipcs),
+            misses=dict(source.misses),
+            topology_label=best.scheme_name,
+        ))
+    return result

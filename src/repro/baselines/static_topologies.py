@@ -1,0 +1,35 @@
+"""The static cache topologies of Section 5.
+
+The paper's notation ``(x:y:z)``: each L2 slice group is shared by ``x``
+cores, each L3 group by ``y`` L2 groups, and there are ``z`` L3 groups.
+The baseline for all normalised results is the all-shared ``(16:1:1)``;
+``(1:1:16)`` is fully private, ``(1:16:1)`` is private L2 with one shared
+L3 (the Nehalem-style organisation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: The all-shared L2+L3 configuration every figure normalises to.
+BASELINE_LABEL = "(16:1:1)"
+
+#: The static configurations evaluated in Figures 2, 13, 15 and 16.
+STATIC_LABELS: List[str] = [
+    "(16:1:1)",
+    "(1:1:16)",
+    "(4:4:1)",
+    "(8:2:1)",
+    "(1:16:1)",
+]
+
+#: Additional symmetric configurations the weighted/fair speedup study
+#: sweeps over (Figure 14 reports (2:2:4) as the best-WS static and
+#: (4:4:1) as the best-FS static).
+EXTENDED_STATIC_LABELS: List[str] = STATIC_LABELS + [
+    "(2:2:4)",
+    "(2:8:1)",
+    "(4:1:4)",
+    "(2:1:8)",
+    "(4:2:2)",
+]

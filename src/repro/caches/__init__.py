@@ -1,0 +1,26 @@
+"""Cache substrate: set-associative slices, merged groups, 3-level hierarchy.
+
+This package implements the memory-side substrate the paper's evaluation
+runs on: per-core private L1s, 16 L2 slices and 16 L3 slices that can be
+grouped (merged) at runtime, an inclusive hierarchy with back-invalidation,
+lazy invalidation of post-merge duplicates (paper Section 2.2), and per-core
+/ per-slice statistics.
+"""
+
+from repro.caches.replacement import LruPolicy, TreePlruPolicy, make_policy
+from repro.caches.cache import CacheSlice, Entry
+from repro.caches.hierarchy import AccessResult, CacheHierarchy, HierarchyObserver
+from repro.caches.stats import CoreStats, SliceStats
+
+__all__ = [
+    "LruPolicy",
+    "TreePlruPolicy",
+    "make_policy",
+    "CacheSlice",
+    "Entry",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyObserver",
+    "CoreStats",
+    "SliceStats",
+]

@@ -1,0 +1,163 @@
+"""A single set-associative cache slice.
+
+A slice stores line addresses directly (the simulator is line-granular), but
+exposes the hardware *tag* of a line (the line address with the set-index
+bits stripped) because the ACFV hardware of Section 2.1 hashes tags.
+
+Entries carry a monotonic access stamp supplied by the hierarchy; stamps
+implement true LRU and order copies during lazy invalidation after a merge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.caches.replacement import make_policy
+
+
+class Entry:
+    """One cache line: its address, owning thread, dirtiness, access stamp."""
+
+    __slots__ = ("line", "owner", "dirty", "stamp")
+
+    def __init__(self, line: int, owner: int, dirty: bool, stamp: int) -> None:
+        self.line = line
+        self.owner = owner
+        self.dirty = dirty
+        self.stamp = stamp
+
+    def __repr__(self) -> str:
+        return f"Entry(line={self.line:#x}, owner={self.owner}, " \
+               f"dirty={self.dirty}, stamp={self.stamp})"
+
+
+class CacheSlice:
+    """One slice of ``sets`` x ``ways`` lines with a replacement policy.
+
+    The slice itself knows nothing about levels, merging or latencies; the
+    hierarchy composes slices into groups.  All mutating operations return
+    enough information for the caller to maintain inclusion (the evicted
+    entry, if any).
+    """
+
+    def __init__(self, sets: int, ways: int, replacement: str = "lru",
+                 slice_id: int = 0) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        if sets & (sets - 1):
+            raise ValueError(f"sets must be a power of two, got {sets}")
+        self.sets = sets
+        self.ways = ways
+        self.slice_id = slice_id
+        self._set_mask = sets - 1
+        self._set_shift = sets.bit_length() - 1
+        self.policy = make_policy(replacement, sets, ways)
+        self._lru = replacement == "lru"
+        self._data: List[List[Entry]] = [[] for _ in range(sets)]
+
+    # -- address helpers ---------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        """Set that the given line address maps to."""
+        return line & self._set_mask
+
+    def tag(self, line: int) -> int:
+        """Hardware tag of the line (index bits stripped)."""
+        return line >> self._set_shift
+
+    # -- lookup / update ---------------------------------------------------
+
+    def lookup(self, line: int) -> Optional[Entry]:
+        """Return the entry holding ``line``, or None.  Does not touch LRU."""
+        for entry in self._data[line & self._set_mask]:
+            if entry.line == line:
+                return entry
+        return None
+
+    def touch(self, entry: Entry, stamp: int) -> None:
+        """Record a hit on ``entry`` at time ``stamp``."""
+        entry.stamp = stamp
+        if self._lru:
+            return  # true LRU is fully captured by the stamp
+        set_index = entry.line & self._set_mask
+        way = self._data[set_index].index(entry)
+        self.policy.touch(set_index, way)
+
+    def has_room(self, line: int) -> bool:
+        """True if the line's set has a free way."""
+        return len(self._data[line & self._set_mask]) < self.ways
+
+    def insert(self, line: int, owner: int, dirty: bool, stamp: int) -> Optional[Entry]:
+        """Install ``line``; return the evicted entry if the set was full.
+
+        The caller is responsible for checking the line is not already
+        present (the hierarchy always performs a group-wide lookup first).
+        """
+        set_index = line & self._set_mask
+        ways = self._data[set_index]
+        victim: Optional[Entry] = None
+        if len(ways) >= self.ways:
+            if self._lru:
+                victim_way = min(range(len(ways)), key=lambda i: ways[i].stamp)
+            else:
+                victim_way = self.policy.victim(set_index, [e.stamp for e in ways])
+            victim = ways.pop(victim_way)
+        entry = Entry(line, owner, dirty, stamp)
+        ways.append(entry)
+        if not self._lru:
+            self.policy.touch(set_index, len(ways) - 1)
+        return victim
+
+    def victim_candidate(self, line: int) -> Optional[Entry]:
+        """The entry that *would* be evicted if ``line`` were inserted now."""
+        set_index = line & self._set_mask
+        ways = self._data[set_index]
+        if len(ways) < self.ways:
+            return None
+        if self._lru:
+            return min(ways, key=lambda e: e.stamp)
+        return ways[self.policy.victim(set_index, [e.stamp for e in ways])]
+
+    def invalidate(self, line: int) -> Optional[Entry]:
+        """Remove ``line`` from the slice; return the entry if it was present."""
+        ways = self._data[line & self._set_mask]
+        for i, entry in enumerate(ways):
+            if entry.line == line:
+                return ways.pop(i)
+        return None
+
+    def invalidate_entry(self, entry: Entry) -> bool:
+        """Remove a specific entry object (used by lazy invalidation)."""
+        ways = self._data[entry.line & self._set_mask]
+        try:
+            ways.remove(entry)
+            return True
+        except ValueError:
+            return False
+
+    # -- introspection -----------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(ways) for ways in self._data)
+
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently in the slice (test/oracle helper)."""
+        return [entry.line for ways in self._data for entry in ways]
+
+    def entries(self) -> List[Entry]:
+        """All valid entries (snapshot; safe to invalidate while iterating)."""
+        return [entry for ways in self._data for entry in ways]
+
+    def flush(self) -> List[Entry]:
+        """Invalidate everything; return the removed entries."""
+        removed = [entry for ways in self._data for entry in ways]
+        self._data = [[] for _ in range(self.sets)]
+        return removed
+
+    def __contains__(self, line: int) -> bool:
+        return self.lookup(line) is not None
+
+    def __repr__(self) -> str:
+        return (f"CacheSlice(id={self.slice_id}, sets={self.sets}, "
+                f"ways={self.ways}, occupancy={self.occupancy()})")

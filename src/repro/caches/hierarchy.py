@@ -1,0 +1,411 @@
+"""Three-level inclusive cache hierarchy with mergeable L2/L3 slice groups.
+
+This is the substrate every scheme in the paper runs on: 16 private L1s and
+16 slices of L2 and L3.  The hierarchy does not decide topology — it is told
+the current grouping of slices at each level (``set_topology``) and provides:
+
+- group-wide lookup: a core's access searches every slice of its group,
+  local slice first (local hits cost the local latency, remote hits the
+  merged latency of Table 3 when ``charge_remote_latency`` is set);
+- group-wide insertion with true-LRU victim choice across the group
+  (merging sums associativities, footnote 1 of the paper);
+- lazy invalidation of duplicate copies created by a merge (Section 2.2):
+  on a multi-hit only the most recently used copy survives;
+- inclusion maintenance: an L3 eviction back-invalidates the covered L2
+  slices and L1s, an L2 eviction back-invalidates L1s;
+- a write-invalidate L1 directory for threads sharing an address space.
+
+An observer receives fill/hit/evict events per slice — the MorphCache
+controller attaches its ACFVs there, and the oracle footprint estimator of
+Figure 5 uses the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.caches.cache import CacheSlice, Entry
+from repro.caches.stats import HierarchyStats
+from repro.config import MachineConfig
+
+L2 = "l2"
+L3 = "l3"
+
+
+class HierarchyObserver:
+    """Event sink for per-slice cache activity.  All hooks are optional."""
+
+    def on_hit(self, level: str, slice_id: int, core: int, tag: int) -> None:
+        """A lookup hit ``tag`` in slice ``slice_id`` on behalf of ``core``."""
+
+    def on_fill(self, level: str, slice_id: int, core: int, tag: int) -> None:
+        """``tag`` was installed into slice ``slice_id`` for ``core``."""
+
+    def on_evict(self, level: str, slice_id: int, tag: int,
+                 owner: int = -1) -> None:
+        """``tag`` left slice ``slice_id`` (replacement or invalidation)."""
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory reference."""
+
+    latency: int
+    level: str
+    """Where the reference was served: ``l1``, ``l2``, ``l3`` or ``mem``."""
+
+    remote: bool
+    """True when served by a non-local slice of a merged group."""
+
+
+class CacheHierarchy:
+    """The CMP cache substrate (see module docstring)."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        charge_remote_latency: bool = True,
+        observer: Optional[HierarchyObserver] = None,
+    ) -> None:
+        self.config = config
+        self.charge_remote_latency = charge_remote_latency
+        self.observer = observer or HierarchyObserver()
+        n = config.cores
+        rep = config.replacement
+        self.l1s = [CacheSlice(config.l1.sets, config.l1.ways, rep, i) for i in range(n)]
+        self.l2s = [CacheSlice(config.l2_slice.sets, config.l2_slice.ways, rep, i)
+                    for i in range(n)]
+        self.l3s = [CacheSlice(config.l3_slice.sets, config.l3_slice.ways, rep, i)
+                    for i in range(n)]
+        self.stats = HierarchyStats.for_machine(n)
+        self._stamp = 0
+        # line -> cores holding the line in their L1 (inclusion directory).
+        self._l1_directory: Dict[int, Set[int]] = {}
+        private = [(i,) for i in range(n)]
+        self._l2_groups: List[Tuple[int, ...]] = []
+        self._l3_groups: List[Tuple[int, ...]] = []
+        self._l2_group_of: List[Tuple[int, ...]] = []
+        self._l3_group_of: List[Tuple[int, ...]] = []
+        self._l2_search_order: List[Tuple[int, ...]] = []
+        self._l3_search_order: List[Tuple[int, ...]] = []
+        self.set_topology(private, list(private))
+
+    # -- topology ----------------------------------------------------------
+
+    def set_topology(
+        self,
+        l2_groups: Sequence[Tuple[int, ...]],
+        l3_groups: Sequence[Tuple[int, ...]],
+    ) -> None:
+        """Install a new slice grouping at both levels.
+
+        ``l2_groups`` / ``l3_groups`` must each partition ``range(cores)``.
+        Every L2 group must be contained in a single L3 group (the inclusion
+        requirement of Sections 2.2/2.3).  Duplicate copies that sharing may
+        create are *not* flushed here — lazy invalidation handles them.
+        """
+        n = self.config.cores
+        for name, groups in ((L2, l2_groups), (L3, l3_groups)):
+            seen = sorted(s for g in groups for s in g)
+            if seen != list(range(n)):
+                raise ValueError(f"{name} groups {groups} do not partition 0..{n - 1}")
+        l3_of: Dict[int, Tuple[int, ...]] = {}
+        for group in l3_groups:
+            for slice_id in group:
+                l3_of[slice_id] = tuple(group)
+        for group in l2_groups:
+            covering = {l3_of[s] for s in group}
+            if len(covering) != 1:
+                raise ValueError(
+                    f"L2 group {group} spans multiple L3 groups {covering}: "
+                    "inclusion would be violated"
+                )
+        self._l2_groups = [tuple(g) for g in l2_groups]
+        self._l3_groups = [tuple(g) for g in l3_groups]
+        self._l2_group_of = [()] * n
+        self._l3_group_of = [()] * n
+        self._l2_search_order = [()] * n
+        self._l3_search_order = [()] * n
+        for group in self._l2_groups:
+            for slice_id in group:
+                self._l2_group_of[slice_id] = group
+                self._l2_search_order[slice_id] = _search_order(slice_id, group)
+        for group in self._l3_groups:
+            for slice_id in group:
+                self._l3_group_of[slice_id] = group
+                self._l3_search_order[slice_id] = _search_order(slice_id, group)
+        self._repair_after_reconfiguration()
+
+    def _repair_after_reconfiguration(self) -> None:
+        """Evict lines a topology change made unreachable or non-inclusive.
+
+        A split leaves lines stranded in slices their owner can no longer
+        reach; those lines would never hit again and, worse, an L2 copy may
+        lose its backing L3 copy, breaking inclusion.  Hardware would handle
+        this with (lazy) invalidation; the repair here invalidates orphans
+        eagerly at the reconfiguration boundary, which is rare enough that
+        the cost is irrelevant (and the lost-locality penalty of refetching
+        is faithfully paid by the subsequent misses).
+        """
+        # L3 orphans: owner can no longer address this slice.
+        for slice_id, l3 in enumerate(self.l3s):
+            for entry in l3.entries():
+                if slice_id not in self._l3_group_of[entry.owner]:
+                    l3.invalidate_entry(entry)
+                    self.stats.l3_slices[slice_id].evictions += 1
+                    self.observer.on_evict(L3, slice_id, entry.line, entry.owner)
+        # L2 orphans: unreachable by owner, or L3 backing copy gone.
+        for slice_id, l2 in enumerate(self.l2s):
+            l3_group = self._l3_group_of[slice_id]
+            for entry in l2.entries():
+                unreachable = slice_id not in self._l2_group_of[entry.owner]
+                unbacked = not any(entry.line in self.l3s[s] for s in l3_group)
+                if unreachable or unbacked:
+                    l2.invalidate_entry(entry)
+                    self.stats.l2_slices[slice_id].evictions += 1
+                    self.observer.on_evict(L2, slice_id, entry.line, entry.owner)
+        # L1 copies must still be backed by the core's (new) L2 group.
+        for line, holders in list(self._l1_directory.items()):
+            for core in list(holders):
+                backed = any(line in self.l2s[s]
+                             for s in self._l2_group_of[core])
+                if not backed:
+                    self.l1s[core].invalidate(line)
+                    holders.discard(core)
+            if not holders:
+                del self._l1_directory[line]
+
+    @property
+    def l2_groups(self) -> List[Tuple[int, ...]]:
+        return list(self._l2_groups)
+
+    @property
+    def l3_groups(self) -> List[Tuple[int, ...]]:
+        return list(self._l3_groups)
+
+    def l2_group_of(self, slice_id: int) -> Tuple[int, ...]:
+        return self._l2_group_of[slice_id]
+
+    def l3_group_of(self, slice_id: int) -> Tuple[int, ...]:
+        return self._l3_group_of[slice_id]
+
+    # -- the access path ---------------------------------------------------
+
+    def access(self, core: int, line: int, write: bool = False) -> AccessResult:
+        """Issue one reference from ``core``; returns level and latency."""
+        self._stamp += 1
+        stamp = self._stamp
+        lat = self.config.latency
+        core_stats = self.stats.cores[core]
+        core_stats.accesses += 1
+
+        # L1.
+        l1 = self.l1s[core]
+        entry = l1.lookup(line)
+        if entry is not None:
+            l1.touch(entry, stamp)
+            core_stats.l1_hits += 1
+            latency = lat.l1_hit
+            if write:
+                entry.dirty = True
+                latency += self._invalidate_other_l1s(core, line)
+            return AccessResult(latency=latency, level="l1", remote=False)
+
+        # L2 group.
+        hit_slice, latency = self._lookup_group(L2, core, line, stamp)
+        if hit_slice is not None:
+            remote = hit_slice != core
+            if remote:
+                core_stats.l2_remote_hits += 1
+            else:
+                core_stats.l2_local_hits += 1
+            total = latency + self._fill_l1(core, line, write, stamp)
+            if write:
+                total += self._invalidate_other_l1s(core, line)
+            return AccessResult(latency=total, level="l2", remote=remote)
+
+        # L3 group.
+        hit_slice, latency = self._lookup_group(L3, core, line, stamp)
+        if hit_slice is not None:
+            remote = hit_slice != core
+            if remote:
+                core_stats.l3_remote_hits += 1
+            else:
+                core_stats.l3_local_hits += 1
+            self._fill_group(L2, core, line, write, stamp)
+            total = latency + self._fill_l1(core, line, write, stamp)
+            if write:
+                total += self._invalidate_other_l1s(core, line)
+            return AccessResult(latency=total, level="l3", remote=remote)
+
+        # Main memory.
+        core_stats.memory_accesses += 1
+        core_stats.memory_cycles += lat.memory
+        self._fill_group(L3, core, line, write, stamp)
+        self._fill_group(L2, core, line, write, stamp)
+        total = lat.memory + self._fill_l1(core, line, write, stamp)
+        if write:
+            total += self._invalidate_other_l1s(core, line)
+        return AccessResult(latency=total, level="mem", remote=False)
+
+    # -- group mechanics ---------------------------------------------------
+
+    def _lookup_group(
+        self, level: str, core: int, line: int, stamp: int
+    ) -> Tuple[Optional[int], int]:
+        """Search the core's group at ``level``; return (hit slice, latency).
+
+        Implements lazy invalidation: when the line is found in several
+        slices of a merged group (duplicates left over from a merge), only
+        the most recently used copy is kept.
+        """
+        slices = self.l2s if level == L2 else self.l3s
+        slice_stats = self.stats.l2_slices if level == L2 else self.stats.l3_slices
+        lat = self.config.latency
+        local_hit = lat.l2_local_hit if level == L2 else lat.l3_local_hit
+        merged_hit = lat.l2_merged_hit if level == L2 else lat.l3_merged_hit
+        order = (self._l2_search_order if level == L2 else self._l3_search_order)[core]
+
+        hits: List[Tuple[int, Entry]] = []
+        for slice_id in order:
+            entry = slices[slice_id].lookup(line)
+            if entry is not None:
+                hits.append((slice_id, entry))
+        if not hits:
+            slice_stats[core].misses += 1
+            return None, 0
+
+        hits.sort(key=lambda item: item[1].stamp, reverse=True)
+        winner_slice, winner = hits[0]
+        for dup_slice, dup in hits[1:]:
+            slices[dup_slice].invalidate_entry(dup)
+            slice_stats[dup_slice].lazy_invalidations += 1
+            if dup.dirty:
+                winner.dirty = True
+            self.observer.on_evict(level, dup_slice, line, dup.owner)
+        slices[winner_slice].touch(winner, stamp)
+        slice_stats[winner_slice].hits += 1
+        self.observer.on_hit(level, winner_slice, core, line)
+        is_local = winner_slice == core
+        if is_local or not self.charge_remote_latency:
+            return winner_slice, local_hit
+        # Remote hits pay the merged latency plus the segmented-bus span
+        # cost for slices beyond the immediate neighbourhood (Section 5.5).
+        distance_penalty = (abs(winner_slice - core) - 1) * lat.distance_cycles_per_hop
+        return winner_slice, merged_hit + max(0, distance_penalty)
+
+    def _fill_group(self, level: str, core: int, line: int, write: bool,
+                    stamp: int) -> None:
+        """Install ``line`` into the core's group at ``level``.
+
+        Placement: the local slice if its set has room, else any group slice
+        with room, else the slice holding the group-wide LRU victim (summed
+        associativity per footnote 1).
+        """
+        slices = self.l2s if level == L2 else self.l3s
+        slice_stats = self.stats.l2_slices if level == L2 else self.stats.l3_slices
+        order = (self._l2_search_order if level == L2 else self._l3_search_order)[core]
+
+        target = None
+        for slice_id in order:
+            if slices[slice_id].has_room(line):
+                target = slice_id
+                break
+        if target is None:
+            oldest_stamp = None
+            for slice_id in order:
+                candidate = slices[slice_id].victim_candidate(line)
+                if candidate is not None and (
+                    oldest_stamp is None or candidate.stamp < oldest_stamp
+                ):
+                    oldest_stamp = candidate.stamp
+                    target = slice_id
+            if target is None:  # pragma: no cover - sets cannot all be unfull and victimless
+                target = core
+        victim = slices[target].insert(line, core, write, stamp)
+        slice_stats[target].insertions += 1
+        self.observer.on_fill(level, target, core, line)
+        if victim is not None:
+            slice_stats[target].evictions += 1
+            self.observer.on_evict(level, target, victim.line, victim.owner)
+            self._back_invalidate(level, target, victim.line)
+
+    def _back_invalidate(self, level: str, from_slice: int, line: int) -> None:
+        """Maintain inclusion after an eviction at ``level``."""
+        if level == L3:
+            # The line can only live in L2 slices covered by this L3 group.
+            for slice_id in self._l3_group_of[from_slice]:
+                removed = self.l2s[slice_id].invalidate(line)
+                if removed is not None:
+                    self.stats.l2_slices[slice_id].evictions += 1
+                    self.observer.on_evict(L2, slice_id, line, removed.owner)
+        # In both cases the L1 copies must go (L1 is inclusive in L2).
+        holders = self._l1_directory.get(line)
+        if holders:
+            for core in list(holders):
+                self.l1s[core].invalidate(line)
+            del self._l1_directory[line]
+
+    # -- L1 handling -------------------------------------------------------
+
+    def _fill_l1(self, core: int, line: int, write: bool, stamp: int) -> int:
+        """Install into the core's L1; returns extra latency (always 0)."""
+        victim = self.l1s[core].insert(line, core, write, stamp)
+        self._l1_directory.setdefault(line, set()).add(core)
+        if victim is not None:
+            holders = self._l1_directory.get(victim.line)
+            if holders is not None:
+                holders.discard(core)
+                if not holders:
+                    del self._l1_directory[victim.line]
+            if victim.dirty:
+                # Write back into the L2 copy (inclusion guarantees presence
+                # unless a concurrent back-invalidation removed it).
+                for slice_id in self._l2_search_order[core]:
+                    entry = self.l2s[slice_id].lookup(victim.line)
+                    if entry is not None:
+                        entry.dirty = True
+                        break
+        return 0
+
+    def _invalidate_other_l1s(self, core: int, line: int) -> int:
+        """Write-invalidate coherence for threads sharing an address space."""
+        holders = self._l1_directory.get(line)
+        if not holders:
+            return 0
+        others = [c for c in holders if c != core]
+        if not others:
+            return 0
+        for other in others:
+            self.l1s[other].invalidate(line)
+            holders.discard(other)
+            self.stats.cores[core].coherence_invalidations += 1
+        return self.config.latency.coherence_invalidate
+
+    # -- invariants (used by tests and property checks) ---------------------
+
+    def check_inclusion(self) -> None:
+        """Raise AssertionError if any inclusion invariant is violated."""
+        for core, l1 in enumerate(self.l1s):
+            group = self._l2_group_of[core]
+            for line in l1.resident_lines():
+                if not any(line in self.l2s[s] for s in group):
+                    raise AssertionError(
+                        f"L1 of core {core} holds line {line:#x} absent from "
+                        f"its L2 group {group}"
+                    )
+        for slice_id, l2 in enumerate(self.l2s):
+            group = self._l3_group_of[slice_id]
+            for line in l2.resident_lines():
+                if not any(line in self.l3s[s] for s in group):
+                    raise AssertionError(
+                        f"L2 slice {slice_id} holds line {line:#x} absent "
+                        f"from its L3 group {group}"
+                    )
+
+
+def _search_order(local: int, group: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Local slice first, then the rest of the group by physical distance."""
+    rest = sorted((s for s in group if s != local), key=lambda s: abs(s - local))
+    return (local, *rest)

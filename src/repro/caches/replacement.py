@@ -1,0 +1,112 @@
+"""Replacement policies for cache slices.
+
+Two policies are provided, matching Section 2.2 of the paper:
+
+- :class:`LruPolicy` — true LRU via monotonic access stamps.  Stamps make
+  merging trivial: the LRU entry of a merged group is simply the entry with
+  the smallest stamp across the group's slices ("in an ideal LRU
+  implementation, we can merge the entries according to time-stamps").
+- :class:`TreePlruPolicy` — generalized tree pseudo-LRU (Robinson's
+  tree-LRU, the paper's practical alternative).  When slices are merged the
+  per-slice trees are kept as-is and "future accesses quickly determine a new
+  LRU sub-tree"; across slices the victim slice is chosen by comparing each
+  slice's candidate stamp, which converges to the same behaviour.
+
+Both operate on one *set* of one slice.  The policy owns no entry storage;
+it only ranks ways.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class LruPolicy:
+    """True LRU: the victim is the way with the smallest access stamp."""
+
+    name = "lru"
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Record an access; stamps are maintained by the entries themselves."""
+        # True LRU needs no per-set state beyond the entry stamps.
+
+    def victim(self, set_index: int, stamps: Sequence[int]) -> int:
+        """Return the way to evict given the per-way access stamps."""
+        return min(range(len(stamps)), key=stamps.__getitem__)
+
+
+class TreePlruPolicy:
+    """Tree-based pseudo LRU over a power-of-two number of ways.
+
+    Each set keeps ``ways - 1`` tree bits.  Bit ``i`` has children
+    ``2i + 1`` and ``2i + 2``; leaves map to ways.  A 0 bit means the LRU
+    side is the left subtree, 1 means the right.  On an access the bits on
+    the path to the accessed way are pointed *away* from it; the victim is
+    found by following the bits.
+    """
+
+    name = "plru"
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        if ways & (ways - 1):
+            raise ValueError(f"tree-PLRU needs power-of-two ways, got {ways}")
+        self.sets = sets
+        self.ways = ways
+        self._bits: List[List[int]] = [[0] * max(1, ways - 1) for _ in range(sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Update the tree so the accessed way is protected (MRU side)."""
+        if self.ways == 1:
+            return
+        bits = self._bits[set_index]
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1  # LRU side is now the right subtree
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0  # LRU side is now the left subtree
+                node = 2 * node + 2
+                lo = mid
+        self._check_node(node)
+
+    def victim(self, set_index: int, stamps: Sequence[int]) -> int:
+        """Follow the tree bits to the pseudo-LRU way (stamps are unused)."""
+        if self.ways == 1:
+            return 0
+        bits = self._bits[set_index]
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+    def _check_node(self, node: int) -> None:
+        if node >= 2 * len(self._bits[0]) + 1:
+            raise AssertionError("tree walk escaped the node array")
+
+
+def make_policy(name: str, sets: int, ways: int):
+    """Instantiate a replacement policy by configuration name."""
+    if name == "lru":
+        return LruPolicy(sets, ways)
+    if name == "plru":
+        return TreePlruPolicy(sets, ways)
+    raise ValueError(f"unknown replacement policy {name!r}")

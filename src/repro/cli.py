@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``table3 [--preset P]`` — print the machine description.
+- ``table2`` — print the arbiter synthesis table.
+- ``list`` — available mixes, PARSEC benchmarks and schemes.
+- ``run --workload W [--scheme S] [--preset P] [--epochs N] [--seed K]`` —
+  simulate one scheme on one workload (``MIX 01``.. / a PARSEC name / an
+  ``alone:<spec>`` benchmark) and print per-epoch results.
+- ``compare --workload W [--preset P]`` — run the Figure 13 scheme set on
+  one workload and print normalised throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.static_topologies import STATIC_LABELS
+from repro.config import format_table3, preset
+from repro.interconnect.timing import ArbiterTimingModel
+from repro.render import render_series, render_topology
+from repro.sim.experiment import run_scheme
+from repro.sim.workload import Workload
+from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
+
+
+def _workload_from_name(name: str) -> Workload:
+    if name.lower().startswith("mix"):
+        return Workload.from_mix(mix_by_name(name.upper().replace("MIX", "MIX ")
+                                             .replace("MIX  ", "MIX ").strip()))
+    if name.startswith("alone:"):
+        return Workload.alone(name.split(":", 1)[1])
+    if name in PARSEC_BENCHMARKS:
+        return Workload.from_parsec(name)
+    raise SystemExit(
+        f"unknown workload {name!r}: use 'MIX 01'..'MIX 12', a PARSEC name "
+        f"({', '.join(sorted(PARSEC_BENCHMARKS))}) or 'alone:<spec>'"
+    )
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    print(format_table3(preset(args.preset)))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    print(ArbiterTimingModel().format_table2())
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("mixes:")
+    for mix in MIXES:
+        print(f"  {mix.name}  type {mix.type_counts}")
+    print(f"\nPARSEC: {', '.join(sorted(PARSEC_BENCHMARKS))}")
+    print(f"\nSPEC (for alone:<name>): {', '.join(sorted(SPEC_BENCHMARKS))}")
+    print(f"\nschemes: morphcache, pipp, dsr, ucp, {', '.join(STATIC_LABELS)}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = preset(args.preset)
+    workload = _workload_from_name(args.workload)
+    result = run_scheme(args.scheme, workload, machine, seed=args.seed,
+                        epochs=args.epochs)
+    print(f"{args.scheme} on {workload.name} "
+          f"({args.preset} preset, seed {args.seed})")
+    for epoch in result.epochs:
+        print(f"  epoch {epoch.epoch}: throughput {epoch.throughput:.3f}  "
+              f"topology {epoch.topology_label}")
+    print(render_series(result.throughput_series(), label="  trend "))
+    print(f"mean throughput: {result.mean_throughput:.3f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    machine = preset(args.preset)
+    workload = _workload_from_name(args.workload)
+    schemes = STATIC_LABELS + ["morphcache"]
+    results = {scheme: run_scheme(scheme, workload, machine, seed=args.seed,
+                                  epochs=args.epochs)
+               for scheme in schemes}
+    base = results["(16:1:1)"].mean_throughput
+    print(f"{workload.name} ({args.preset} preset)")
+    for scheme, result in sorted(results.items(),
+                                 key=lambda kv: -kv[1].mean_throughput):
+        print(f"  {scheme:12} {result.mean_throughput:8.3f}  "
+              f"{result.mean_throughput / base:6.3f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MorphCache (HPCA 2011) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="print the machine description") \
+        .add_argument("--preset", default="small")
+    sub.add_parser("table2", help="print the arbiter synthesis table")
+    sub.add_parser("list", help="list workloads and schemes")
+
+    run_parser = sub.add_parser("run", help="simulate one scheme")
+    run_parser.add_argument("--workload", required=True)
+    run_parser.add_argument("--scheme", default="morphcache")
+    run_parser.add_argument("--preset", default="small")
+    run_parser.add_argument("--epochs", type=int, default=4)
+    run_parser.add_argument("--seed", type=int, default=1)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="compare the Figure 13 scheme set")
+    compare_parser.add_argument("--workload", required=True)
+    compare_parser.add_argument("--preset", default="small")
+    compare_parser.add_argument("--epochs", type=int, default=3)
+    compare_parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+COMMANDS = {
+    "table3": cmd_table3,
+    "table2": cmd_table2,
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

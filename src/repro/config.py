@@ -1,0 +1,250 @@
+"""Machine configuration for the MorphCache reproduction.
+
+This module encodes Table 3 of the paper (the baseline 16-core CMP) plus the
+scaling presets described in DESIGN.md.  All cache geometry is expressed in
+*lines* (the paper's 64-byte blocks): the simulator never needs byte
+addresses, only line addresses, so capacities are line counts and a slice is
+fully described by ``(sets, ways)``.
+
+The paper's absolute sizes (Table 3)::
+
+    L1  32 KB,  4-way, 64 B lines  ->  128 sets x  4 ways =   512 lines
+    L2 256 KB/slice,  8-way        ->  512 sets x  8 ways =  4096 lines
+    L3   1 MB/slice, 16-way        -> 1024 sets x 16 ways = 16384 lines
+
+Scaled presets shrink set counts and trace lengths proportionally so that
+working-set pressure (the ratio of footprints to capacity, which is what all
+of MorphCache's decisions key on) is preserved while runs stay fast enough
+for a pure-Python simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+LINE_BYTES = 64
+"""Cache line size in bytes (Table 3)."""
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache slice: ``sets`` x ``ways`` lines of 64 bytes."""
+
+    sets: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.sets <= 0 or self.ways <= 0:
+            raise ValueError(f"sets and ways must be positive, got {self}")
+        if self.sets & (self.sets - 1):
+            raise ValueError(f"sets must be a power of two, got {self.sets}")
+
+    @property
+    def lines(self) -> int:
+        """Total capacity in cache lines."""
+        return self.sets * self.ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.lines * LINE_BYTES
+
+    def scaled(self, factor: int) -> "CacheGeometry":
+        """Return the geometry with the set count divided by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        sets = max(1, self.sets // factor)
+        return CacheGeometry(sets=sets, ways=self.ways)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Access latencies in CPU cycles (Table 3 and Section 4).
+
+    ``merged`` latencies apply when a hit is served by a remote slice of a
+    merged group over the segmented bus (+15 cycles, Section 3.2); static
+    topologies use the flat local latencies regardless of sharing degree, as
+    the paper's methodology section specifies.
+    """
+
+    l1_hit: int = 3
+    l2_local_hit: int = 10
+    l2_merged_hit: int = 25
+    l3_local_hit: int = 30
+    l3_merged_hit: int = 45
+    memory: int = 300
+    coherence_invalidate: int = 5
+    distance_cycles_per_hop: int = 3
+    """Extra cycles per slice of distance beyond an immediate neighbour —
+    the segmented-bus span cost that makes non-neighbour sharing lose
+    (Section 5.5's -7.1 %)."""
+
+    def __post_init__(self) -> None:
+        if min(dataclasses.astuple(self)) < 0:
+            raise ValueError("latencies must be non-negative")
+
+    @property
+    def bus_overhead(self) -> int:
+        """Extra cycles a merged (remote) hit pays over a local hit."""
+        return self.l2_merged_hit - self.l2_local_hit
+
+
+@dataclass(frozen=True)
+class MsatConfig:
+    """Merge/Split Aggressiveness Threshold (Section 2.2).
+
+    Utilisation is the fraction of set bits in a (possibly juxtaposed) ACFV,
+    expressed in percent.  ``(high, low) = (60, 30)`` is the paper's default.
+    """
+
+    high: float = 60.0
+    low: float = 30.0
+    overlap: float = 50.0
+    """Sharing-significance threshold in percent, on the collision-corrected
+    (phi-style) overlap scale of ``Acfv.overlap_fraction``: 100 = identical
+    active footprints, 0 = statistically independent."""
+
+    throttle_step: float = 5.0
+    """QoS throttling step applied to both bounds (Section 5.3)."""
+
+    high_max: float = 95.0
+    low_min: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low < self.high <= 100:
+            raise ValueError(f"need 0 <= low < high <= 100, got {self}")
+        if not 0 <= self.overlap <= 100:
+            raise ValueError(f"overlap must be a percentage, got {self}")
+
+
+@dataclass(frozen=True)
+class MorphConfig:
+    """Policy knobs of the MorphCache controller."""
+
+    msat: MsatConfig = field(default_factory=MsatConfig)
+    acfv_bits: Optional[int] = None
+    """Bits per ACFV.  ``None`` (default) sizes each level's vectors to half
+    its slice's line count, which keeps the linearised footprint estimate
+    informative at every scale preset; the paper's fixed 128-bit vectors
+    correspond to its full-scale slices (Figure 5 reports 0.96 correlation
+    at 128 bits)."""
+
+    hash_name: str = "xor"
+    """ACFV hash function: ``xor`` (default) or ``modulo``."""
+
+    conflict_policy: str = "merge"
+    """Split/merge conflict arbitration: ``merge`` aggressive (default) or
+    ``split`` aggressive (Section 2.4)."""
+
+    qos: bool = False
+    """Enable miss-driven MSAT throttling (Section 5.3)."""
+
+    allow_arbitrary_sizes: bool = False
+    """Section 5.5 extension: groups whose size is not a power of two."""
+
+    allow_non_neighbors: bool = False
+    """Section 5.5 extension: non-contiguous groups (distance penalty)."""
+
+    polluter_veto: bool = True
+    """Disqualify high-miss/low-reuse cores as merge donors (see
+    DecisionEngine.set_miss_feedback).  Off for ablation."""
+
+    hysteresis: bool = True
+    """Minimum merged-group age and re-merge cooldown around splits.  Off
+    for ablation."""
+
+    def __post_init__(self) -> None:
+        if self.acfv_bits is not None and self.acfv_bits <= 0:
+            raise ValueError("acfv_bits must be positive")
+        if self.hash_name not in ("xor", "modulo"):
+            raise ValueError(f"unknown hash {self.hash_name!r}")
+        if self.conflict_policy not in ("merge", "split"):
+            raise ValueError(f"unknown conflict policy {self.conflict_policy!r}")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description: Table 3 plus scaling knobs."""
+
+    cores: int = 16
+    issue_width: int = 4
+    l1: CacheGeometry = field(default_factory=lambda: CacheGeometry(128, 4))
+    l2_slice: CacheGeometry = field(default_factory=lambda: CacheGeometry(512, 8))
+    l3_slice: CacheGeometry = field(default_factory=lambda: CacheGeometry(1024, 16))
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    replacement: str = "lru"
+    """Replacement policy for every slice: ``lru`` or ``plru``."""
+
+    epochs: int = 20
+    accesses_per_core_per_epoch: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.cores & (self.cores - 1):
+            raise ValueError(f"cores must be a positive power of two, got {self.cores}")
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if self.replacement not in ("lru", "plru"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+        if self.epochs <= 0 or self.accesses_per_core_per_epoch <= 0:
+            raise ValueError("epochs and accesses must be positive")
+
+    def with_(self, **changes) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def _preset(set_scale: int, accesses: int, epochs: int) -> MachineConfig:
+    base = MachineConfig()
+    return base.with_(
+        l1=base.l1.scaled(set_scale),
+        l2_slice=base.l2_slice.scaled(set_scale),
+        l3_slice=base.l3_slice.scaled(set_scale),
+        accesses_per_core_per_epoch=accesses,
+        epochs=epochs,
+    )
+
+
+#: Full Table 3 sizes and the paper's 20 epochs of the region of interest.
+PAPER = _preset(set_scale=1, accesses=200_000, epochs=20)
+
+#: 1/8-scale machine used by the runnable examples.
+DEFAULT = _preset(set_scale=8, accesses=20_000, epochs=8)
+
+#: 1/32-scale machine used by the benchmark harness.
+SMALL = _preset(set_scale=32, accesses=5_000, epochs=6)
+
+#: 1/128-scale machine used by the unit tests.
+TINY = _preset(set_scale=128, accesses=600, epochs=3)
+
+PRESETS = {"paper": PAPER, "default": DEFAULT, "small": SMALL, "tiny": TINY}
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a named scale preset (``paper``/``default``/``small``/``tiny``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}") from None
+
+
+def format_table3(config: MachineConfig) -> str:
+    """Render the machine description in the shape of the paper's Table 3."""
+    lat = config.latency
+    rows = [
+        ("Processor model", f"{config.issue_width} way issue superscalar, {config.cores} cores"),
+        ("Private L1 I & D", f"{config.l1.ways}-way, {config.l1.capacity_bytes // 1024} KB, "
+                             f"{LINE_BYTES} B lines, {lat.l1_hit} cycle access"),
+        ("L2 cache", f"{config.cores} slices, {config.l2_slice.capacity_bytes // 1024} KB/slice, "
+                     f"{config.l2_slice.ways}-way, {lat.l2_local_hit} cycles local, "
+                     f"{lat.l2_merged_hit} cycles merged"),
+        ("L3 cache", f"{config.cores} slices, {config.l3_slice.capacity_bytes // 1024} KB/slice, "
+                     f"{config.l3_slice.ways}-way, {lat.l3_local_hit} cycles local, "
+                     f"{lat.l3_merged_hit} cycles merged"),
+        ("Memory", f"{lat.memory} cycle off-chip access latency"),
+        ("Epoch interval", f"{config.accesses_per_core_per_epoch} accesses/core "
+                           f"(reconfiguration interval), {config.epochs} epochs"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)

@@ -1,0 +1,40 @@
+"""MorphCache: the paper's primary contribution.
+
+- :mod:`~repro.core.hashing` — the hardware hash functions that index ACFVs
+  (XOR-fold and modulo, the two curves of Figure 5).
+- :mod:`~repro.core.acfv` — Active Cache Footprint Vectors (Section 2.1) and
+  the per-core ACFV bank that observes the cache hierarchy.
+- :mod:`~repro.core.topology` — the buddy-structured slice grouping state
+  with the L2-inside-L3 inclusion invariant (Sections 2.2/2.3) and the
+  Section 5.5 relaxations.
+- :mod:`~repro.core.decisions` — the merge/split decision engine with both
+  conflict policies (Section 2.4).
+- :mod:`~repro.core.qos` — MSAT throttling for QoS (Section 5.3).
+- :mod:`~repro.core.controller` — ties it all together: one controller per
+  CMP that reconfigures the hierarchy at epoch boundaries.
+"""
+
+from repro.core.hashing import ModuloHash, XorFoldHash, make_hash
+from repro.core.acfv import Acfv, AcfvBank
+from repro.core.topology import TopologyState, parse_config_label
+from repro.core.decisions import DecisionEngine, MergeProposal, SplitProposal
+from repro.core.qos import MsatThrottler
+from repro.core.controller import MorphCacheController, ReconfigEvent
+from repro.core.tiles import TiledMorphCache
+
+__all__ = [
+    "XorFoldHash",
+    "ModuloHash",
+    "make_hash",
+    "Acfv",
+    "AcfvBank",
+    "TopologyState",
+    "parse_config_label",
+    "DecisionEngine",
+    "MergeProposal",
+    "SplitProposal",
+    "MsatThrottler",
+    "MorphCacheController",
+    "ReconfigEvent",
+    "TiledMorphCache",
+]

@@ -1,0 +1,178 @@
+"""The MorphCache controller: epoch-boundary reconfiguration.
+
+One controller owns the ACFV bank (attached to the hierarchy as its
+observer), the topology state, the decision engine and the QoS throttler.
+The simulation engine calls :meth:`MorphCacheController.end_epoch` at every
+reconfiguration interval; the controller
+
+1. feeds the QoS throttler the miss deltas around last epoch's merges
+   (Section 5.3, when enabled),
+2. runs the decision engine against the current MSAT,
+3. pushes the resulting topology into the hierarchy, and
+4. resets all ACFVs (Section 2.1's staleness rule).
+
+Every merge/split is recorded as a :class:`ReconfigEvent`; the Section 2.4
+statistics (total reconfiguration count, fraction landing in asymmetric
+configurations) are derived from this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import MachineConfig, MorphConfig
+from repro.core.acfv import AcfvBank
+from repro.core.decisions import DecisionEngine
+from repro.core.qos import MsatThrottler
+from repro.core.topology import Group, TopologyState
+
+
+@dataclass(frozen=True)
+class ReconfigEvent:
+    """One merge or split performed at an epoch boundary."""
+
+    epoch: int
+    kind: str  # "merge" | "split"
+    level: str  # "l2" | "l3"
+    groups: Tuple[Group, ...]
+    reason: str
+    resulting_label: Optional[str]
+    """The (x:y:z) label after the action, or None if asymmetric."""
+
+    @property
+    def asymmetric(self) -> bool:
+        return self.resulting_label is None
+
+
+class MorphCacheController:
+    """Drives MorphCache reconfiguration for one CMP."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        morph: Optional[MorphConfig] = None,
+        shared_address_space: bool = False,
+    ) -> None:
+        self.config = config
+        self.morph = morph or MorphConfig()
+        self.shared_address_space = shared_address_space
+        l2_lines = config.l2_slice.lines
+        l3_lines = config.l3_slice.lines
+        l2_bits = self.morph.acfv_bits or max(32, l2_lines // 2)
+        l3_bits = self.morph.acfv_bits or max(32, l3_lines // 2)
+        self.bank = AcfvBank(config.cores, l2_bits, l3_bits, self.morph.hash_name)
+        self.topology = TopologyState(config.cores)
+        self.engine = DecisionEngine(
+            self.morph, l2_lines, l3_lines, shared_address_space
+        )
+        self.throttler = MsatThrottler(self.morph.msat, enabled=self.morph.qos)
+        self.events: List[ReconfigEvent] = []
+        self.hierarchy: Optional[CacheHierarchy] = None
+        self._epoch = 0
+        self._last_misses: Dict[int, int] = {}
+        self._last_merged_cores: Set[int] = set()
+        self._cumulative_misses: Dict[int, int] = {c: 0 for c in range(config.cores)}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, hierarchy: CacheHierarchy) -> None:
+        """Connect to a hierarchy: observe its events, drive its topology."""
+        if hierarchy.config.cores != self.config.cores:
+            raise ValueError("hierarchy and controller disagree on core count")
+        self.hierarchy = hierarchy
+        hierarchy.observer = self.bank
+        hierarchy.set_topology(
+            self.topology.groups("l2"), self.topology.groups("l3")
+        )
+
+    # -- the epoch boundary -----------------------------------------------------
+
+    def end_epoch(self) -> List[ReconfigEvent]:
+        """Reconfigure at an epoch boundary; returns this epoch's events."""
+        if self.hierarchy is None:
+            raise RuntimeError("controller not attached to a hierarchy")
+        epoch_misses = self._epoch_misses()
+
+        # QoS feedback on last epoch's merges (Section 5.3).
+        if self.morph.qos and self._last_merged_cores:
+            self.throttler.observe_merge_outcome(
+                self._last_merged_cores, self._last_misses, epoch_misses
+            )
+
+        self.engine.set_miss_feedback(epoch_misses)
+        actions = self.engine.decide(self.topology, self.bank, self.throttler.msat)
+
+        new_events: List[ReconfigEvent] = []
+        merged_cores: Set[int] = set()
+        for kind, proposal in actions:
+            if kind == "merge":
+                groups: Tuple[Group, ...] = (proposal.a, proposal.b)
+                merged_cores.update(proposal.a)
+                merged_cores.update(proposal.b)
+            else:
+                groups = (proposal.group,)
+            new_events.append(
+                ReconfigEvent(
+                    epoch=self._epoch,
+                    kind=kind,
+                    level=proposal.level,
+                    groups=groups,
+                    reason=proposal.reason,
+                    resulting_label=self.topology.config_label(),
+                )
+            )
+        # The recorded label should reflect the state after *all* of this
+        # epoch's actions — recompute it once and reuse.
+        final_label = self.topology.config_label()
+        new_events = [
+            ReconfigEvent(e.epoch, e.kind, e.level, e.groups, e.reason, final_label)
+            for e in new_events
+        ]
+        self.events.extend(new_events)
+
+        self.hierarchy.set_topology(
+            self.topology.groups("l2"), self.topology.groups("l3")
+        )
+        self._last_misses = epoch_misses
+        self._last_merged_cores = merged_cores
+        self.bank.reset_all()
+        self._epoch += 1
+        return new_events
+
+    def _epoch_misses(self) -> Dict[int, int]:
+        """Per-core misses accumulated since the previous epoch boundary."""
+        assert self.hierarchy is not None
+        current = {
+            core: stats.memory_accesses
+            for core, stats in self.hierarchy.stats.cores.items()
+        }
+        window = {
+            core: current[core] - self._cumulative_misses.get(core, 0)
+            for core in current
+        }
+        self._cumulative_misses = current
+        return window
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def reconfigurations(self) -> int:
+        """Total merges + splits performed (the Section 2.4 statistic)."""
+        return len(self.events)
+
+    @property
+    def asymmetric_fraction(self) -> float:
+        """Fraction of reconfigurations that produced an asymmetric topology."""
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.asymmetric) / len(self.events)
+
+    def current_label(self) -> str:
+        """Human-readable topology: the (x:y:z) label or the raw groups."""
+        label = self.topology.config_label()
+        if label is not None:
+            return label
+        return (f"asymmetric L2={self.topology.groups('l2')} "
+                f"L3={self.topology.groups('l3')}")

@@ -1,0 +1,62 @@
+"""Hardware hash functions for indexing ACFVs (Section 2.1, Figure 5).
+
+The paper evaluates two efficient hardware hashes of the cache tag:
+
+- an XOR hash — modelled here as XOR-folding: the tag is cut into
+  ``log2(bits)``-wide chunks that are XOR-ed together, a standard
+  gate-cheap mixing network (Ramakrishna et al. [22] in the paper);
+- a modulo hash — the tag modulo the vector length, i.e. simply the
+  low-order tag bits when the length is a power of two.
+
+Figure 5 shows XOR tracking an oracle footprint estimator noticeably better
+than modulo at small vector sizes, because modulo of sequentially-strided
+tags aliases whole regions onto few bits.
+"""
+
+from __future__ import annotations
+
+
+class XorFoldHash:
+    """XOR-fold a tag into an index in ``[0, bits)``."""
+
+    name = "xor"
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        # Fold width: enough bits to cover the range; non-power-of-two
+        # vector lengths fold at the next power of two and reduce modulo.
+        self._width = max(1, (bits - 1).bit_length())
+        self._mask = (1 << self._width) - 1
+
+    def __call__(self, tag: int) -> int:
+        value = tag
+        folded = 0
+        while value:
+            folded ^= value & self._mask
+            value >>= self._width
+        return folded % self.bits
+
+
+class ModuloHash:
+    """Index a tag by ``tag % bits`` (low-order bits for powers of two)."""
+
+    name = "modulo"
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+
+    def __call__(self, tag: int) -> int:
+        return tag % self.bits
+
+
+def make_hash(name: str, bits: int):
+    """Instantiate a hash function by configuration name."""
+    if name == "xor":
+        return XorFoldHash(bits)
+    if name == "modulo":
+        return ModuloHash(bits)
+    raise ValueError(f"unknown hash {name!r}")

@@ -1,0 +1,74 @@
+"""QoS-aware MSAT throttling (Section 5.3).
+
+The merge-aggressive policy can hurt individual applications while helping
+the aggregate.  The paper's remedy: track each application's miss count
+before and after every merging reconfiguration (two 4-byte registers per
+slice).  If misses increased after a merge, throttle the MSAT *up* (raise
+the high bound, lower the low bound) — moving the system toward the private
+configuration that guarantees each application its fair share.  If misses
+stayed flat or improved, throttle *down*, recovering aggressiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable
+
+from repro.config import MsatConfig
+
+
+class MsatThrottler:
+    """Holds the live MSAT bounds and adjusts them from miss feedback."""
+
+    def __init__(self, base: MsatConfig, enabled: bool = True) -> None:
+        self.base = base
+        self.enabled = enabled
+        self.high = base.high
+        self.low = base.low
+        self.throttle_ups = 0
+        self.throttle_downs = 0
+
+    @property
+    def msat(self) -> MsatConfig:
+        """The MSAT currently in force."""
+        return replace(self.base, high=self.high, low=self.low)
+
+    def observe_merge_outcome(
+        self,
+        merged_cores: Iterable[int],
+        misses_before: Dict[int, int],
+        misses_after: Dict[int, int],
+    ) -> None:
+        """Feed back one epoch of miss counts around a merge step.
+
+        ``misses_before``/``misses_after`` map core id to the miss count of
+        the epoch preceding and following the merge, for the cores whose
+        slices were merged.
+        """
+        if not self.enabled:
+            return
+        cores = list(merged_cores)
+        if not cores:
+            return
+        increased = any(
+            misses_after.get(core, 0) > misses_before.get(core, 0)
+            for core in cores
+        )
+        if increased:
+            self.throttle_up()
+        else:
+            self.throttle_down()
+
+    def throttle_up(self) -> None:
+        """Become more conservative (toward the private configuration)."""
+        step = self.base.throttle_step
+        self.high = min(self.base.high_max, self.high + step)
+        self.low = max(self.base.low_min, self.low - step)
+        self.throttle_ups += 1
+
+    def throttle_down(self) -> None:
+        """Recover merge aggressiveness (toward the base MSAT)."""
+        step = self.base.throttle_step
+        self.high = max(self.base.high, self.high - step)
+        self.low = min(self.base.low, self.low + step)
+        self.throttle_downs += 1

@@ -1,0 +1,126 @@
+"""Tile-based scaling beyond 16 cores (Section 5.5).
+
+The paper: "higher core counts in a CMP can effectively exploit the
+advantages of MorphCache by using a tile-based architecture, where each
+tile of at most 16 cores would use a cache hierarchy managed as a
+MorphCache, while the tiles themselves would be connected using a more
+scalable interconnection network.  Threads that share code or data would be
+scheduled on the cores within a tile."
+
+:class:`TiledMorphCache` realises exactly that: ``n_tiles`` independent
+16-core MorphCache CMPs, each with its own hierarchy, ACFV bank and
+controller.  A workload of ``n_tiles * 16`` threads is partitioned across
+tiles by a scheduler hook (contiguous blocks by default — the paper's
+"schedule sharers together" policy for multithreaded workloads falls out of
+block assignment because sharers are adjacent thread ids).  Cross-tile
+traffic is not cached on-chip at all in this model: a tile miss goes to
+memory, which is conservative (tiles never steal each other's capacity —
+the design point the paper argues for).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import MachineConfig, MorphConfig
+from repro.core.controller import MorphCacheController
+
+
+class TiledMorphCache:
+    """Several MorphCache tiles behind one engine-protocol facade.
+
+    Global core ids ``0 .. n_tiles * tile_config.cores - 1`` map onto
+    (tile, local core) pairs via the scheduler function; each tile is a
+    fully independent MorphCache system.
+    """
+
+    label = "tiled-morphcache"
+
+    def __init__(
+        self,
+        tile_config: MachineConfig,
+        n_tiles: int,
+        morph: Optional[MorphConfig] = None,
+        shared_address_space: bool = False,
+        scheduler: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if n_tiles <= 0:
+            raise ValueError("n_tiles must be positive")
+        if tile_config.cores > 16:
+            raise ValueError(
+                "a MorphCache tile holds at most 16 cores (Section 5.5); "
+                f"got {tile_config.cores}"
+            )
+        self.tile_config = tile_config
+        self.n_tiles = n_tiles
+        self.total_cores = n_tiles * tile_config.cores
+        scheduler = scheduler or (lambda core: core // tile_config.cores)
+        self.hierarchies: List[CacheHierarchy] = []
+        self.controllers: List[MorphCacheController] = []
+        for _ in range(n_tiles):
+            hierarchy = CacheHierarchy(tile_config)
+            controller = MorphCacheController(
+                tile_config, morph or MorphConfig(),
+                shared_address_space=shared_address_space,
+            )
+            controller.attach(hierarchy)
+            self.hierarchies.append(hierarchy)
+            self.controllers.append(controller)
+        # Resolve the scheduler to a fixed placement up front: each global
+        # core gets the next free local slot of its tile, and overfull
+        # tiles are rejected immediately rather than mid-simulation.
+        next_slot = [0] * n_tiles
+        self._placement: Dict[int, tuple] = {}
+        for core in range(self.total_cores):
+            tile = scheduler(core)
+            if not 0 <= tile < n_tiles:
+                raise ValueError(f"scheduler sent core {core} to bad tile {tile}")
+            if next_slot[tile] >= tile_config.cores:
+                raise ValueError(f"scheduler overfilled tile {tile}")
+            self._placement[core] = (tile, next_slot[tile])
+            next_slot[tile] += 1
+
+    def placement(self, core: int) -> tuple:
+        """(tile index, local core index) of a global core id."""
+        try:
+            return self._placement[core]
+        except KeyError:
+            raise ValueError(
+                f"core {core} out of range 0..{self.total_cores - 1}"
+            ) from None
+
+    # -- engine protocol ------------------------------------------------------
+
+    def access(self, core: int, line: int, write: bool) -> int:
+        tile, local = self.placement(core)
+        return self.hierarchies[tile].access(local, line, write).latency
+
+    def end_epoch(self) -> str:
+        labels = [controller.end_epoch() or "" for controller in self.controllers]
+        tile_labels = [controller.current_label()
+                       for controller in self.controllers]
+        return " | ".join(tile_labels)
+
+    def miss_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for core in range(self.total_cores):
+            tile, local = self.placement(core)
+            stats = self.hierarchies[tile].stats.cores[local]
+            counts[core] = stats.memory_accesses
+        return counts
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def reconfigurations(self) -> int:
+        """Total reconfigurations across all tiles."""
+        return sum(controller.reconfigurations
+                   for controller in self.controllers)
+
+    def tile_labels(self) -> List[str]:
+        return [controller.current_label() for controller in self.controllers]
+
+    def check_inclusion(self) -> None:
+        for hierarchy in self.hierarchies:
+            hierarchy.check_inclusion()

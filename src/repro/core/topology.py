@@ -1,0 +1,226 @@
+"""Cache topology state: groupings of L2 and L3 slices (Sections 2.2-2.3).
+
+The default MorphCache policy restricts groups to aligned power-of-two runs
+of neighbouring slices (private / dual / quad / oct / all-shared — the five
+modes of Section 2), forming a buddy structure: a group of size ``s``
+starting at base ``b`` (with ``b % s == 0``) merges only with its buddy
+``(b ^ s, s)`` and splits only into its two halves.
+
+Invariant maintained at all times: every L2 group is contained in a single
+L3 group, so a merged L2 region can never exceed its backing L3 region and
+inclusion is preserved (the correctness conditions of Sections 2.2/2.3).
+
+The Section 5.5 relaxations are also supported:
+
+- ``arbitrary sizes``: contiguous groups of any size (merging two adjacent
+  groups of unequal sizes);
+- ``non-neighbour groups``: arbitrary slice sets; the physical fabric then
+  spans the superset of the group and remote accesses pay a distance-scaled
+  latency, modelled by :meth:`TopologyState.max_span`.
+
+The paper's ``(x:y:z)`` notation is produced by :meth:`config_label` for
+symmetric topologies, and parsed by :func:`parse_config_label` to build the
+static baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Group = Tuple[int, ...]
+
+
+def aligned_power_of_two(group: Group) -> bool:
+    """True if the group is an aligned contiguous power-of-two run."""
+    size = len(group)
+    if size & (size - 1):
+        return False
+    base = min(group)
+    return base % size == 0 and tuple(sorted(group)) == tuple(range(base, base + size))
+
+
+class TopologyState:
+    """Mutable grouping of ``n`` slices at L2 and L3 with inclusion checks."""
+
+    def __init__(self, n_slices: int = 16) -> None:
+        if n_slices < 2 or n_slices & (n_slices - 1):
+            raise ValueError(f"n_slices must be a power of two >= 2, got {n_slices}")
+        self.n_slices = n_slices
+        self._groups: Dict[str, List[Group]] = {
+            "l2": [(i,) for i in range(n_slices)],
+            "l3": [(i,) for i in range(n_slices)],
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    def groups(self, level: str) -> List[Group]:
+        """The current partition at ``level``, sorted by base slice."""
+        return sorted(self._groups[level], key=min)
+
+    def group_of(self, level: str, slice_id: int) -> Group:
+        for group in self._groups[level]:
+            if slice_id in group:
+                return group
+        raise ValueError(f"slice {slice_id} not in any {level} group")
+
+    def is_symmetric(self) -> bool:
+        """True if all groups at each level have equal size."""
+        return all(
+            len({len(g) for g in self._groups[level]}) == 1
+            for level in ("l2", "l3")
+        )
+
+    def config_label(self) -> Optional[str]:
+        """The paper's ``(x:y:z)`` label, or None if asymmetric.
+
+        ``x`` cores share an L2 slice group, ``y`` L2 groups share an L3
+        group, ``z`` is the number of L3 groups.
+        """
+        if not self.is_symmetric():
+            return None
+        x = len(self._groups["l2"][0])
+        l3_size = len(self._groups["l3"][0])
+        y = l3_size // x
+        z = len(self._groups["l3"])
+        return f"({x}:{y}:{z})"
+
+    def max_span(self, level: str) -> int:
+        """Largest distance between two slices in any group (latency model
+        input for the Section 5.5 non-neighbour extension)."""
+        return max(max(g) - min(g) for g in self._groups[level])
+
+    def check_inclusion(self) -> None:
+        """Raise ValueError if some L2 group is not inside one L3 group."""
+        l3_of: Dict[int, Group] = {}
+        for group in self._groups["l3"]:
+            for slice_id in group:
+                l3_of[slice_id] = group
+        for group in self._groups["l2"]:
+            covering = {l3_of[s] for s in group}
+            if len(covering) != 1:
+                raise ValueError(
+                    f"L2 group {group} spans L3 groups {covering}"
+                )
+
+    # -- feasibility ----------------------------------------------------------
+
+    def are_buddies(self, a: Group, b: Group) -> bool:
+        """True if ``a`` and ``b`` are buddy groups (mergeable by default)."""
+        if len(a) != len(b) or not aligned_power_of_two(a) or not aligned_power_of_two(b):
+            return False
+        size = len(a)
+        return (min(a) ^ size) == min(b)
+
+    def are_adjacent(self, a: Group, b: Group) -> bool:
+        """True if the groups are contiguous runs that touch (Section 5.5)."""
+        lo_a, hi_a = min(a), max(a)
+        lo_b, hi_b = min(b), max(b)
+        contiguous_a = tuple(sorted(a)) == tuple(range(lo_a, hi_a + 1))
+        contiguous_b = tuple(sorted(b)) == tuple(range(lo_b, hi_b + 1))
+        return contiguous_a and contiguous_b and (hi_a + 1 == lo_b or hi_b + 1 == lo_a)
+
+    def can_merge(self, level: str, a: Group, b: Group,
+                  allow_arbitrary_sizes: bool = False,
+                  allow_non_neighbors: bool = False) -> bool:
+        """Check structural feasibility of merging two current groups.
+
+        For L2 merges the caller must additionally guarantee the covering
+        L3 groups are (or become) merged — see the controller.
+        """
+        groups = self._groups[level]
+        if a not in groups or b not in groups or a == b:
+            return False
+        if self.are_buddies(a, b):
+            return True
+        if allow_arbitrary_sizes and self.are_adjacent(a, b):
+            return True
+        return bool(allow_non_neighbors)
+
+    def can_split(self, level: str, group: Group) -> bool:
+        """A group can split iff it has at least two slices."""
+        return group in self._groups[level] and len(group) >= 2
+
+    # -- mutation -------------------------------------------------------------
+
+    def merge(self, level: str, a: Group, b: Group,
+              allow_arbitrary_sizes: bool = False,
+              allow_non_neighbors: bool = False) -> Group:
+        """Merge two groups at ``level``; returns the new group.
+
+        Raises ValueError if the merge is structurally infeasible or would
+        break inclusion (an L2 group escaping its L3 group).
+        """
+        if not self.can_merge(level, a, b, allow_arbitrary_sizes, allow_non_neighbors):
+            raise ValueError(f"cannot merge {a} and {b} at {level}")
+        merged = tuple(sorted(a + b))
+        groups = self._groups[level]
+        groups.remove(a)
+        groups.remove(b)
+        groups.append(merged)
+        try:
+            self.check_inclusion()
+        except ValueError:
+            groups.remove(merged)
+            groups.extend([a, b])
+            raise
+        return merged
+
+    def split(self, level: str, group: Group) -> Tuple[Group, Group]:
+        """Split a group into its two halves; returns them.
+
+        Power-of-two groups split into buddy halves; other contiguous
+        groups split down the middle.  Raises ValueError if splitting would
+        break inclusion (splitting an L3 group under a merged L2 group).
+        """
+        if not self.can_split(level, group):
+            raise ValueError(f"cannot split {group} at {level}")
+        ordered = tuple(sorted(group))
+        half = len(ordered) // 2
+        left, right = ordered[:half], ordered[half:]
+        groups = self._groups[level]
+        groups.remove(group)
+        groups.extend([left, right])
+        try:
+            self.check_inclusion()
+        except ValueError:
+            groups.remove(left)
+            groups.remove(right)
+            groups.append(group)
+            raise
+        return left, right
+
+    def set_groups(self, level: str, groups: Sequence[Group]) -> None:
+        """Install an arbitrary partition at ``level`` (static baselines)."""
+        seen = sorted(s for g in groups for s in g)
+        if seen != list(range(self.n_slices)):
+            raise ValueError(f"groups {groups} do not partition the slices")
+        previous = self._groups[level]
+        self._groups[level] = [tuple(sorted(g)) for g in groups]
+        try:
+            self.check_inclusion()
+        except ValueError:
+            self._groups[level] = previous
+            raise
+
+
+def parse_config_label(label: str, n_slices: int = 16) -> Tuple[List[Group], List[Group]]:
+    """Build (l2_groups, l3_groups) from the paper's ``(x:y:z)`` notation.
+
+    ``x`` = cores per L2 group, ``y`` = L2 groups per L3 group, ``z`` = number
+    of L3 groups; ``x * y * z`` must equal the slice count.  Examples for 16
+    slices: ``(16:1:1)`` all shared, ``(1:1:16)`` all private, ``(1:16:1)``
+    private L2 with one shared L3.
+    """
+    cleaned = label.strip().lstrip("(").rstrip(")")
+    parts = cleaned.split(":")
+    if len(parts) != 3:
+        raise ValueError(f"bad config label {label!r}")
+    x, y, z = (int(p) for p in parts)
+    if x <= 0 or y <= 0 or z <= 0 or x * y * z != n_slices:
+        raise ValueError(
+            f"label {label!r} implies {x * y * z} slices, machine has {n_slices}"
+        )
+    l2_groups = [tuple(range(i * x, (i + 1) * x)) for i in range(y * z)]
+    l3_size = x * y
+    l3_groups = [tuple(range(i * l3_size, (i + 1) * l3_size)) for i in range(z)]
+    return l2_groups, l3_groups

@@ -1,0 +1,13 @@
+"""CPU-side substrate: analytic core timing and the CMP system assembly.
+
+The paper simulates 4-way issue superscalar cores on a full-system
+simulator; here each core is an analytic timing model (non-memory
+instructions retire at the issue width, memory references expose their
+hierarchy latency), which preserves exactly the quantity every experiment
+reports — relative IPC under different cache topologies.
+"""
+
+from repro.cpu.core_model import CoreTimingModel
+from repro.cpu.cmp import CmpSystem
+
+__all__ = ["CoreTimingModel", "CmpSystem"]

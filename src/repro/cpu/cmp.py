@@ -1,0 +1,88 @@
+"""CMP system assembly: hierarchy + optional MorphCache controller.
+
+:class:`CmpSystem` is the canonical "system under test" used by the
+experiment harness for MorphCache and every static topology.  It exposes
+the small protocol the simulation engine drives:
+
+- ``access(core, line, write) -> latency``
+- ``end_epoch() -> Optional[str]`` (a topology label for logging)
+- ``miss_counts() -> Dict[int, int]`` (cumulative per-core memory accesses)
+
+The PIPP and DSR baselines implement the same protocol with their own
+cache organisations (see :mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import MachineConfig, MorphConfig
+from repro.core.controller import MorphCacheController
+from repro.core.topology import parse_config_label
+
+
+class CmpSystem:
+    """A 16-core CMP with either a fixed or a MorphCache-managed topology."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        static_label: Optional[str] = None,
+        morph: Optional[MorphConfig] = None,
+        shared_address_space: bool = False,
+    ) -> None:
+        """Build the system.
+
+        Args:
+            config: machine description.
+            static_label: a ``(x:y:z)`` label for a fixed topology; mutually
+                exclusive with ``morph``.  Static topologies use flat local
+                latencies (Section 4 methodology).
+            morph: MorphCache policy; when given, the system starts private
+                and reconfigures at every epoch boundary.
+            shared_address_space: True for multithreaded workloads (enables
+                the sharing merge condition and L1 write-invalidation
+                matters).
+        """
+        if static_label is not None and morph is not None:
+            raise ValueError("choose either a static topology or MorphCache")
+        self.config = config
+        self.controller: Optional[MorphCacheController] = None
+        if static_label is not None:
+            self.hierarchy = CacheHierarchy(config, charge_remote_latency=False)
+            l2_groups, l3_groups = parse_config_label(static_label, config.cores)
+            self.hierarchy.set_topology(l2_groups, l3_groups)
+            self._label = static_label
+        else:
+            self.hierarchy = CacheHierarchy(config, charge_remote_latency=True)
+            self.controller = MorphCacheController(
+                config, morph or MorphConfig(),
+                shared_address_space=shared_address_space,
+            )
+            self.controller.attach(self.hierarchy)
+            self._label = "morphcache"
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    # -- engine protocol -----------------------------------------------------
+
+    def access(self, core: int, line: int, write: bool) -> int:
+        """One memory reference; returns its latency in CPU cycles."""
+        return self.hierarchy.access(core, line, write).latency
+
+    def end_epoch(self) -> Optional[str]:
+        """Epoch boundary: reconfigure if MorphCache-managed."""
+        if self.controller is not None:
+            self.controller.end_epoch()
+            return self.controller.current_label()
+        return self._label
+
+    def miss_counts(self) -> Dict[int, int]:
+        """Cumulative per-core main-memory accesses."""
+        return {
+            core: stats.memory_accesses
+            for core, stats in self.hierarchy.stats.cores.items()
+        }

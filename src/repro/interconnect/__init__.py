@@ -1,0 +1,35 @@
+"""MorphCache interconnect: segmented bus, hierarchical arbiters, timing.
+
+Implements Section 3 of the paper:
+
+- :mod:`~repro.interconnect.segmented_bus` — a shared bus split into
+  segments by switches; disjoint groups hold parallel transactions (Fig 7/8).
+- :mod:`~repro.interconnect.arbiter` — the tree of 2-input round-robin
+  arbiters with BusAcq gating (Figs 9-11), simulated cycle by cycle.
+- :mod:`~repro.interconnect.floorplan` — the Fig 12 chip geometry used to
+  derive wire lengths.
+- :mod:`~repro.interconnect.timing` — the Table 1/Table 2 area and delay
+  model (45 nm, 0.038 ns/mm) and the 15-cycle bus-transaction overhead.
+"""
+
+from repro.interconnect.segmented_bus import SegmentedBus
+from repro.interconnect.arbiter import Arbiter, ArbiterTree
+from repro.interconnect.floorplan import Floorplan
+from repro.interconnect.timing import ArbiterTimingModel, BusTimingSummary
+from repro.interconnect.power import (
+    BusEnergyReport,
+    SegmentedBusPowerModel,
+    traffic_from_hierarchy_stats,
+)
+
+__all__ = [
+    "SegmentedBus",
+    "Arbiter",
+    "ArbiterTree",
+    "Floorplan",
+    "ArbiterTimingModel",
+    "BusTimingSummary",
+    "BusEnergyReport",
+    "SegmentedBusPowerModel",
+    "traffic_from_hierarchy_stats",
+]

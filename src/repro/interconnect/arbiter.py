@@ -1,0 +1,201 @@
+"""Hierarchical segmented-bus arbitration (Section 3.2, Figures 9-11).
+
+The arbiter fabric is a binary tree of identical 2-input arbiters.  Each
+arbiter latches its two request inputs, grants one of them round-robin
+(``Lastgnt`` remembers the loser so it wins next time), and — when its
+``Fwdreq`` input says the sharing domain extends past it — forwards the
+request to its parent.
+
+A cache slice sharing among ``2^k`` slices is gated by the ``k`` lowest
+arbiter levels: its ``BusAcq`` is the AND of the grants from those levels
+(Figure 11's Share signals).  Arbiters above the sharing domain never see
+the request, which is what lets disjoint domains run parallel transactions.
+
+The model is cycle-accurate at bus-clock granularity with the paper's
+protocol: requests latched in cycle t are granted in cycle t+2, and the data
+transfer occupies cycle t+3 (3-cycle transactions at 1 GHz).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Arbiter:
+    """One 2-input round-robin arbiter (Figure 10)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.last_grant = 1  # so input 0 wins the first tie
+        self.req = [False, False]
+        self.forward = False
+        """Fwdreq: True when the sharing domain extends above this arbiter."""
+
+    def latch(self, req0: bool, req1: bool) -> None:
+        """Latch the request inputs (the D flip-flops of Figure 10)."""
+        self.req = [req0, req1]
+
+    @property
+    def req_out(self) -> bool:
+        """Request forwarded to the parent arbiter when Fwdreq is set."""
+        return self.forward and (self.req[0] or self.req[1])
+
+    def arbitrate(self) -> Tuple[bool, bool]:
+        """Produce (Gnt0, Gnt1) for the latched requests, round-robin."""
+        r0, r1 = self.req
+        if r0 and r1:
+            winner = 1 - self.last_grant
+        elif r0:
+            winner = 0
+        elif r1:
+            winner = 1
+        else:
+            return False, False
+        self.last_grant = winner
+        return winner == 0, winner == 1
+
+
+class ArbiterTree:
+    """A full arbiter hierarchy over ``n`` cache slices (Figure 9).
+
+    Levels are numbered from 1 (leaf arbiters, one per slice pair) to
+    ``log2(n)`` (root).  ``share_level[s]`` gives the number of levels slice
+    ``s`` must be granted by: a slice in a ``2^k``-shared group has share
+    level ``k`` (0 = private, no bus needed).
+    """
+
+    def __init__(self, n_slices: int) -> None:
+        if n_slices < 2 or n_slices & (n_slices - 1):
+            raise ValueError(f"n_slices must be a power of two >= 2, got {n_slices}")
+        self.n_slices = n_slices
+        self.levels = n_slices.bit_length() - 1
+        self.arbiters: List[List[Arbiter]] = [
+            [Arbiter(name=f"L{level + 1}A{i}") for i in range(n_slices >> (level + 1))]
+            for level in range(self.levels)
+        ]
+        self.share_level = [0] * n_slices
+
+    @property
+    def n_arbiters(self) -> int:
+        return sum(len(level) for level in self.arbiters)
+
+    # -- configuration -----------------------------------------------------
+
+    def configure_groups(self, groups: Sequence[Tuple[int, ...]]) -> None:
+        """Derive share levels and Fwdreq flags from a slice grouping.
+
+        Groups must be aligned power-of-two runs (the buddy structure of the
+        default MorphCache policy).
+        """
+        seen = sorted(s for g in groups for s in g)
+        if seen != list(range(self.n_slices)):
+            raise ValueError(f"groups {groups} do not partition the slices")
+        for group in groups:
+            size = len(group)
+            if size & (size - 1):
+                raise ValueError(f"group {group} size must be a power of two")
+            lo = min(group)
+            if lo % size or tuple(sorted(group)) != tuple(range(lo, lo + size)):
+                raise ValueError(f"group {group} must be an aligned contiguous run")
+            level = size.bit_length() - 1
+            for slice_id in group:
+                self.share_level[slice_id] = level
+        # An arbiter forwards requests upward when the sharing domain of the
+        # slices below it extends beyond it.
+        for level_index, level in enumerate(self.arbiters):
+            span = 1 << (level_index + 1)
+            for i, arbiter in enumerate(level):
+                slices_below = range(i * span, (i + 1) * span)
+                arbiter.forward = any(
+                    self.share_level[s] > level_index + 1 for s in slices_below
+                )
+
+    # -- combinational grant resolution (one arbitration round) -------------
+
+    def resolve(self, requests: Sequence[bool]) -> List[bool]:
+        """One arbitration round: which requesting slices get BusAcq.
+
+        ``requests[s]`` is slice ``s``'s bus request.  Returns per-slice
+        BusAcq.  Private slices (share level 0) never request the bus.
+        """
+        if len(requests) != self.n_slices:
+            raise ValueError("requests must have one entry per slice")
+        effective = [bool(requests[s]) and self.share_level[s] > 0
+                     for s in range(self.n_slices)]
+
+        # Propagate requests up level by level, latching at each arbiter.
+        level_inputs = effective
+        for level in self.arbiters:
+            next_inputs: List[bool] = []
+            for i, arbiter in enumerate(level):
+                arbiter.latch(level_inputs[2 * i], level_inputs[2 * i + 1])
+                next_inputs.append(arbiter.req_out)
+            level_inputs = next_inputs
+
+        # Grants: an arbiter participates only for slices whose share level
+        # reaches it; a grant at level k selects one of the two 2^(k-1)-slice
+        # halves below.
+        grants: List[List[Tuple[bool, bool]]] = []
+        for level in self.arbiters:
+            grants.append([arbiter.arbitrate() for arbiter in level])
+
+        bus_acq: List[bool] = []
+        for s in range(self.n_slices):
+            if not effective[s]:
+                bus_acq.append(False)
+                continue
+            acquired = True
+            for level_index in range(self.share_level[s]):
+                arbiter_index = s >> (level_index + 1)
+                side = (s >> level_index) & 1
+                if not grants[level_index][arbiter_index][side]:
+                    acquired = False
+                    break
+            bus_acq.append(acquired)
+        return bus_acq
+
+    # -- cycle-level transaction simulation ---------------------------------
+
+    def simulate_transactions(
+        self, arrivals: Dict[int, int], max_cycles: int = 10_000
+    ) -> Dict[int, Tuple[int, int]]:
+        """Run the request/grant/transfer protocol to completion.
+
+        Args:
+            arrivals: slice id -> bus cycle its request is raised.
+
+        Returns:
+            slice id -> (grant_cycle, transfer_complete_cycle).  Per the
+            paper, grant arrives 2 cycles after the request and the block
+            transfer takes 1 further cycle; a granted transaction holds its
+            electrical domain during its transfer cycle, so competing slices
+            in the same domain serialise.
+        """
+        pending = dict(arrivals)
+        done: Dict[int, Tuple[int, int]] = {}
+        busy_until: Dict[int, int] = {}  # domain root key -> cycle it frees
+        cycle = 0
+        while pending and cycle < max_cycles:
+            requests = [False] * self.n_slices
+            for slice_id, arrival in pending.items():
+                if arrival <= cycle:
+                    domain = self._domain_key(slice_id)
+                    if busy_until.get(domain, -1) <= cycle:
+                        requests[slice_id] = True
+            acq = self.resolve(requests)
+            for slice_id, got in enumerate(acq):
+                if got:
+                    grant_cycle = cycle + 2
+                    transfer_done = grant_cycle + 1
+                    done[slice_id] = (grant_cycle, transfer_done)
+                    busy_until[self._domain_key(slice_id)] = transfer_done
+                    del pending[slice_id]
+            cycle += 1
+        if pending:
+            raise RuntimeError(f"transactions never completed: {sorted(pending)}")
+        return done
+
+    def _domain_key(self, slice_id: int) -> int:
+        """Identify the sharing domain of a slice (its aligned group base)."""
+        size = 1 << self.share_level[slice_id]
+        return slice_id - (slice_id % size)

@@ -1,0 +1,133 @@
+"""Chip floorplan of Figure 12 and the wire lengths derived from it.
+
+The paper's floorplan is a 15 mm x 20 mm die.  The 16 core+L1+L2 tiles sit
+in two columns of eight along the left and right edges; the 16 L3 slices
+occupy the centre column.  The L2 arbiter trees (one per side, 7 arbiters
+each) run vertically along each tile column; the L3 arbiter tree (15
+arbiters) spans the centre column.
+
+Wire delay in Table 2 is computed from "the farthest distance between any
+two arbiters in this floorplan" times the 0.038 ns/mm parameter of Table 1.
+This module reconstructs those distances geometrically: arbiters are placed
+at the midpoints of the slices (or arbiters) they aggregate, and the request
+path length of a slice is the Manhattan distance it accumulates climbing
+from the slice to the root arbiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _manhattan(a: Point, b: Point) -> float:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def _midpoint(a: Point, b: Point) -> Point:
+    return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+@dataclass
+class ArbiterTreeLayout:
+    """Positions of a binary arbiter tree over a row of leaf positions."""
+
+    leaf_positions: List[Point]
+    arbiter_positions: List[List[Point]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.leaf_positions)
+        if n < 2 or n & (n - 1):
+            raise ValueError("need a power-of-two number >= 2 of leaves")
+        self.arbiter_positions = []
+        current = list(self.leaf_positions)
+        while len(current) > 1:
+            level = [_midpoint(current[2 * i], current[2 * i + 1])
+                     for i in range(len(current) // 2)]
+            self.arbiter_positions.append(level)
+            current = level
+
+    @property
+    def levels(self) -> int:
+        return len(self.arbiter_positions)
+
+    @property
+    def n_arbiters(self) -> int:
+        return sum(len(level) for level in self.arbiter_positions)
+
+    def request_path_length(self, leaf: int) -> float:
+        """Wire length from a leaf up through every arbiter to the root."""
+        position = self.leaf_positions[leaf]
+        length = 0.0
+        index = leaf
+        for level in self.arbiter_positions:
+            index //= 2
+            length += _manhattan(position, level[index])
+            position = level[index]
+        return length
+
+    def max_request_path(self) -> float:
+        """Longest leaf-to-root request path (sets the Table 2 wire delay)."""
+        return max(self.request_path_length(leaf)
+                   for leaf in range(len(self.leaf_positions)))
+
+
+@dataclass
+class Floorplan:
+    """The 16-core Figure 12 die: tile geometry plus both arbiter fabrics."""
+
+    chip_width_mm: float = 15.0
+    chip_height_mm: float = 20.0
+    cores: int = 16
+
+    def __post_init__(self) -> None:
+        if self.cores < 4 or self.cores & (self.cores - 1):
+            raise ValueError("cores must be a power of two >= 4")
+        per_side = self.cores // 2
+        tile_height = self.chip_height_mm / per_side
+        column_width = self.chip_width_mm / 3.0
+        left_x = column_width / 2.0
+        right_x = self.chip_width_mm - column_width / 2.0
+        center_x = self.chip_width_mm / 2.0
+
+        ys = [tile_height * (i + 0.5) for i in range(per_side)]
+        self.left_l2_positions: List[Point] = [(left_x, y) for y in ys]
+        self.right_l2_positions: List[Point] = [(right_x, y) for y in ys]
+        # L3 slices interleave along the centre column, two per tile row.
+        l3_pitch = self.chip_height_mm / self.cores
+        self.l3_positions: List[Point] = [
+            (center_x, l3_pitch * (i + 0.5)) for i in range(self.cores)
+        ]
+
+        self.l2_tree_left = ArbiterTreeLayout(self.left_l2_positions)
+        self.l2_tree_right = ArbiterTreeLayout(self.right_l2_positions)
+        self.l3_tree = ArbiterTreeLayout(self.l3_positions)
+
+    # -- Table 2 geometry --------------------------------------------------
+
+    @property
+    def l2_arbiters_per_side(self) -> int:
+        return self.l2_tree_left.n_arbiters
+
+    @property
+    def l3_arbiters(self) -> int:
+        return self.l3_tree.n_arbiters
+
+    @property
+    def l2_levels(self) -> int:
+        return self.l2_tree_left.levels
+
+    @property
+    def l3_levels(self) -> int:
+        return self.l3_tree.levels
+
+    def l2_max_wire_mm(self) -> float:
+        """Longest L2 request path on either side of the chip."""
+        return max(self.l2_tree_left.max_request_path(),
+                   self.l2_tree_right.max_request_path())
+
+    def l3_max_wire_mm(self) -> float:
+        """Longest L3 request path across the chip."""
+        return self.l3_tree.max_request_path()

@@ -1,0 +1,152 @@
+"""Segmented-bus energy model (the paper's stated future work).
+
+The concluding remarks: "we believe that the segmented-bus architecture
+would lead to reduced power consumption in MorphCache, [but] we would like
+to quantify this improvement in the future."  This module quantifies it
+with a standard switched-capacitance model:
+
+- driving a bus transaction charges the wire capacitance of every segment
+  in the *electrical domain* the transaction traverses — the whole point of
+  segmentation is that disabled switches shrink that domain;
+- each arbiter consumed by the request/grant handshake adds a fixed logic
+  energy (a slice's request climbs only the levels its sharing degree
+  needs);
+- a monolithic shared bus is the degenerate case: every transaction drives
+  the full bus length and the full arbiter tree.
+
+Capacitance and energy constants are per-mm wire values typical for 45 nm
+global interconnect; they cancel in the relative comparison the model is
+for (segmented vs monolithic, and between MorphCache topologies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.interconnect.timing import VCC_VOLTS
+
+#: Wire capacitance per millimetre of 45 nm global interconnect.
+WIRE_CAPACITANCE_PF_PER_MM = 0.2
+
+#: Energy per arbiter traversal (request latch + round-robin + grant).
+ARBITER_ENERGY_PJ = 0.05
+
+
+@dataclass(frozen=True)
+class BusEnergyReport:
+    """Energy accounting of one configuration, in picojoules/transaction."""
+
+    name: str
+    mean_domain_span_mm: float
+    mean_arbiter_levels: float
+    wire_energy_pj: float
+    arbiter_energy_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.wire_energy_pj + self.arbiter_energy_pj
+
+
+class SegmentedBusPowerModel:
+    """Per-transaction energy of a segmented bus under a slice grouping."""
+
+    def __init__(self, n_slices: int = 16, segment_length_mm: float = 2.5,
+                 vcc: float = VCC_VOLTS) -> None:
+        if n_slices <= 0 or segment_length_mm <= 0 or vcc <= 0:
+            raise ValueError("n_slices, segment_length_mm, vcc must be positive")
+        self.n_slices = n_slices
+        self.segment_length_mm = segment_length_mm
+        self.vcc = vcc
+
+    def _wire_energy(self, span_segments: int) -> float:
+        """0.5 * C * V^2 for the wire length of ``span_segments`` segments."""
+        capacitance = (span_segments * self.segment_length_mm
+                       * WIRE_CAPACITANCE_PF_PER_MM)
+        return 0.5 * capacitance * self.vcc ** 2
+
+    def transaction_energy(self, group: Sequence[int]) -> float:
+        """Energy of one transaction inside ``group``'s electrical domain."""
+        span = max(group) - min(group) + 1
+        levels = max(1, len(group).bit_length() - 1) if len(group) > 1 else 0
+        arbiters = sum(1 for _ in range(levels))
+        return self._wire_energy(span) + arbiters * ARBITER_ENERGY_PJ
+
+    def report(self, groups: Sequence[Tuple[int, ...]],
+               traffic: Dict[Tuple[int, ...], int],
+               name: str = "segmented") -> BusEnergyReport:
+        """Aggregate energy for per-group transaction counts.
+
+        Args:
+            groups: the current slice grouping.
+            traffic: transactions observed per group (groups absent from
+                the mapping contribute nothing).
+        """
+        total_transactions = sum(traffic.get(tuple(g), 0) for g in groups)
+        if total_transactions == 0:
+            return BusEnergyReport(name, 0.0, 0.0, 0.0, 0.0)
+        wire = 0.0
+        arbiter = 0.0
+        span_weighted = 0.0
+        levels_weighted = 0.0
+        for group in groups:
+            count = traffic.get(tuple(group), 0)
+            if count == 0:
+                continue
+            span = max(group) - min(group) + 1
+            levels = max(0, len(group).bit_length() - 1)
+            wire += count * self._wire_energy(span)
+            arbiter += count * levels * ARBITER_ENERGY_PJ
+            span_weighted += count * span * self.segment_length_mm
+            levels_weighted += count * levels
+        return BusEnergyReport(
+            name=name,
+            mean_domain_span_mm=span_weighted / total_transactions,
+            mean_arbiter_levels=levels_weighted / total_transactions,
+            wire_energy_pj=wire / total_transactions,
+            arbiter_energy_pj=arbiter / total_transactions,
+        )
+
+    def monolithic_report(self, total_transactions: int) -> BusEnergyReport:
+        """The non-segmented reference: every transaction drives everything."""
+        full_span = self.n_slices
+        levels = max(0, self.n_slices.bit_length() - 1)
+        return BusEnergyReport(
+            name="monolithic",
+            mean_domain_span_mm=full_span * self.segment_length_mm,
+            mean_arbiter_levels=float(levels),
+            wire_energy_pj=self._wire_energy(full_span),
+            arbiter_energy_pj=levels * ARBITER_ENERGY_PJ,
+        )
+
+    def savings_vs_monolithic(self, groups: Sequence[Tuple[int, ...]],
+                              traffic: Dict[Tuple[int, ...], int]) -> float:
+        """Fractional energy saved by segmentation for the given traffic."""
+        if not traffic or sum(traffic.values()) == 0:
+            return 0.0
+        segmented = self.report(groups, traffic)
+        monolithic = self.monolithic_report(sum(traffic.values()))
+        if monolithic.total_pj == 0:
+            return 0.0
+        return 1.0 - segmented.total_pj / monolithic.total_pj
+
+
+def traffic_from_hierarchy_stats(hierarchy,
+                                 level: str = "l2") -> Dict[Tuple[int, ...], int]:
+    """Estimate per-group bus transactions from hierarchy statistics.
+
+    Remote hits into merged groups are the events that ride the segmented
+    bus at that level; private groups generate none.
+    """
+    traffic: Dict[Tuple[int, ...], int] = {}
+    groups = hierarchy.l2_groups if level == "l2" else hierarchy.l3_groups
+    for group in groups:
+        if len(group) < 2:
+            continue
+        remote = sum(
+            (hierarchy.stats.cores[c].l2_remote_hits if level == "l2"
+             else hierarchy.stats.cores[c].l3_remote_hits)
+            for c in group
+        )
+        traffic[tuple(group)] = remote
+    return traffic

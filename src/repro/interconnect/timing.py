@@ -1,0 +1,192 @@
+"""Arbiter area/delay model reproducing Tables 1 and 2 (Section 3.2).
+
+The paper synthesised the arbiter in 45 nm and reports, per bus:
+
+======================== ======================= =======================
+quantity                 L2 bus (3-level)        L3 bus (4-level)
+======================== ======================= =======================
+arbiters                 7 per side              15
+total arbiter area       160.5 um^2              343.9 um^2
+request delay            0.31 ns wire + 0.38 ns  0.4 ns wire + 0.49 ns
+grant delay              0.32 ns logic + 0.31 ns 0.32 ns logic + 0.4 ns
+======================== ======================= =======================
+
+This module models that arithmetic explicitly:
+
+- area: a per-arbiter constant (both rows of Table 2 give the same
+  22.93 um^2 per arbiter — 160.5/7 = 343.9/15);
+- request logic delay: a latch overhead plus a per-level arbitration term,
+  solved from the two table rows (base + 3x = 0.38, base + 4x = 0.49 gives
+  x = 0.11 ns/level, base = 0.05 ns);
+- grant logic delay: a fixed 0.32 ns (the grant fans out combinationally);
+- wire delay: path length x the Table 1 wire parameter (0.038 ns/mm), with
+  path lengths taken either from the paper (calibrated mode) or computed
+  from the Figure 12 floorplan geometry.
+
+The max frequency and the 15-cycle (10-cycle pipelined) CPU overhead of the
+bus transaction follow from these delays exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.interconnect.floorplan import Floorplan
+
+#: Table 1 parameters.
+TECHNOLOGY_NM = 45
+WIRE_NS_PER_MM = 0.038
+VCC_VOLTS = 1.05
+
+#: Calibrated synthesis constants (see module docstring).
+AREA_PER_ARBITER_UM2 = 160.5 / 7.0
+REQUEST_LOGIC_BASE_NS = 0.05
+REQUEST_LOGIC_PER_LEVEL_NS = 0.11
+GRANT_LOGIC_NS = 0.32
+
+#: Paper wire-path lengths (back-derived from Table 2's wire delays).
+PAPER_L2_WIRE_MM = 0.31 / WIRE_NS_PER_MM
+PAPER_L3_WIRE_MM = 0.40 / WIRE_NS_PER_MM
+
+#: Bus protocol: request + grant (2 cycles) then a 1-cycle 64-byte transfer.
+BUS_TRANSACTION_CYCLES = 3
+PIPELINED_TRANSACTION_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class BusTimingSummary:
+    """One column of Table 2 plus the derived frequency/overhead figures."""
+
+    name: str
+    levels: int
+    n_arbiters: int
+    total_area_um2: float
+    request_wire_ns: float
+    request_logic_ns: float
+    grant_logic_ns: float
+    grant_wire_ns: float
+
+    @property
+    def request_delay_ns(self) -> float:
+        return self.request_wire_ns + self.request_logic_ns
+
+    @property
+    def grant_delay_ns(self) -> float:
+        return self.grant_logic_ns + self.grant_wire_ns
+
+    @property
+    def critical_path_ns(self) -> float:
+        return max(self.request_delay_ns, self.grant_delay_ns)
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        return 1.0 / self.critical_path_ns
+
+
+class ArbiterTimingModel:
+    """Computes Table 2 and the segmented-bus overhead in CPU cycles.
+
+    Args:
+        floorplan: geometry to derive wire lengths from.  When
+            ``use_paper_wire_lengths`` is True (default) the wire delays are
+            the paper's own (the floorplan-derived ones differ by < 15 %,
+            see EXPERIMENTS.md); set it False to use pure geometry.
+        bus_ghz: conservative bus clock (the paper rounds 1.12 GHz down
+            to 1 GHz).
+        cpu_ghz: the 5 GHz processor clock of Section 3.2.
+    """
+
+    def __init__(
+        self,
+        floorplan: Optional[Floorplan] = None,
+        use_paper_wire_lengths: bool = True,
+        bus_ghz: float = 1.0,
+        cpu_ghz: float = 5.0,
+    ) -> None:
+        if bus_ghz <= 0 or cpu_ghz <= 0 or cpu_ghz < bus_ghz:
+            raise ValueError("need 0 < bus_ghz <= cpu_ghz")
+        self.floorplan = floorplan or Floorplan()
+        self.use_paper_wire_lengths = use_paper_wire_lengths
+        self.bus_ghz = bus_ghz
+        self.cpu_ghz = cpu_ghz
+
+    # -- Table 2 -----------------------------------------------------------
+
+    def _summary(self, name: str, levels: int, n_arbiters: int,
+                 wire_mm: float) -> BusTimingSummary:
+        wire_ns = wire_mm * WIRE_NS_PER_MM
+        logic_ns = REQUEST_LOGIC_BASE_NS + levels * REQUEST_LOGIC_PER_LEVEL_NS
+        return BusTimingSummary(
+            name=name,
+            levels=levels,
+            n_arbiters=n_arbiters,
+            total_area_um2=n_arbiters * AREA_PER_ARBITER_UM2,
+            request_wire_ns=wire_ns,
+            request_logic_ns=logic_ns,
+            grant_logic_ns=GRANT_LOGIC_NS,
+            grant_wire_ns=wire_ns,
+        )
+
+    def l2_bus(self) -> BusTimingSummary:
+        """The L2 segmented bus column of Table 2 (per chip side)."""
+        wire = (PAPER_L2_WIRE_MM if self.use_paper_wire_lengths
+                else self.floorplan.l2_max_wire_mm())
+        return self._summary(
+            "L2 Segmented Bus (3-level)",
+            levels=self.floorplan.l2_levels,
+            n_arbiters=self.floorplan.l2_arbiters_per_side,
+            wire_mm=wire,
+        )
+
+    def l3_bus(self) -> BusTimingSummary:
+        """The L3 segmented bus column of Table 2."""
+        wire = (PAPER_L3_WIRE_MM if self.use_paper_wire_lengths
+                else self.floorplan.l3_max_wire_mm())
+        return self._summary(
+            "L3 Segmented Bus (4-level)",
+            levels=self.floorplan.l3_levels,
+            n_arbiters=self.floorplan.l3_arbiters,
+            wire_mm=wire,
+        )
+
+    # -- derived machine parameters -----------------------------------------
+
+    def max_frequency_ghz(self) -> float:
+        """Highest bus frequency the slowest path supports (paper: 1.12 GHz)."""
+        return min(self.l2_bus().max_frequency_ghz, self.l3_bus().max_frequency_ghz)
+
+    def transaction_cpu_cycles(self, pipelined: bool = False) -> int:
+        """CPU-cycle overhead of one bus transaction (15, or 10 pipelined)."""
+        bus_cycles = (PIPELINED_TRANSACTION_CYCLES if pipelined
+                      else BUS_TRANSACTION_CYCLES)
+        return math.ceil(bus_cycles * self.cpu_ghz / self.bus_ghz)
+
+    def format_table2(self) -> str:
+        """Render the model's Table 2 next to the paper's reference values."""
+        l2, l3 = self.l2_bus(), self.l3_bus()
+        rows = [
+            ("No. of arbiters", f"{l2.n_arbiters} per side", f"{l3.n_arbiters}"),
+            ("Total arbiter area",
+             f"{l2.total_area_um2:.1f} um^2", f"{l3.total_area_um2:.1f} um^2"),
+            ("Total request delay",
+             f"{l2.request_wire_ns:.2f} ns (wire) + {l2.request_logic_ns:.2f} ns (logic)",
+             f"{l3.request_wire_ns:.2f} ns (wire) + {l3.request_logic_ns:.2f} ns (logic)"),
+            ("Total grant delay",
+             f"{l2.grant_logic_ns:.2f} ns (logic) + {l2.grant_wire_ns:.2f} ns (wire)",
+             f"{l3.grant_logic_ns:.2f} ns (logic) + {l3.grant_wire_ns:.2f} ns (wire)"),
+            ("Max frequency", f"{l2.max_frequency_ghz:.2f} GHz",
+             f"{l3.max_frequency_ghz:.2f} GHz"),
+        ]
+        header = f"{'':24}  {l2.name:42}  {l3.name}"
+        lines = [header]
+        for name, a, b in rows:
+            lines.append(f"{name:24}  {a:42}  {b}")
+        lines.append(
+            f"{'Bus transaction':24}  "
+            f"{self.transaction_cpu_cycles()} CPU cycles "
+            f"({self.transaction_cpu_cycles(pipelined=True)} pipelined) "
+            f"at {self.cpu_ghz:g} GHz core / {self.bus_ghz:g} GHz bus"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Performance metrics used throughout the paper's evaluation."""
+
+from repro.metrics.speedups import (
+    fair_speedup,
+    throughput,
+    weighted_speedup,
+)
+from repro.metrics.correlation import pearson
+
+__all__ = ["throughput", "weighted_speedup", "fair_speedup", "pearson"]

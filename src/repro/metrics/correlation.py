@@ -1,0 +1,27 @@
+"""Pearson correlation, used for the Figure 5 ACFV fidelity study."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equally-long series.
+
+    Returns 0.0 for degenerate series (constant input), which is how a
+    saturated ACFV estimator shows up in the Figure 5 experiment.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two samples")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)

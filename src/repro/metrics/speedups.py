@@ -1,0 +1,41 @@
+"""Throughput, weighted speedup and fair speedup (Section 5.1).
+
+- *Throughput* is the sum of per-core IPC (can be unfairly maximised by
+  accelerating a small subset of applications, as the paper notes).
+- *Weighted speedup* gives each application equal weight:
+  ``WS = sum_i IPC_i^scheme / IPC_i^alone``.
+- *Fair speedup* is the harmonic mean of the per-application speedups
+  (Smith [25] in the paper), balancing fairness and performance:
+  ``FS = N / sum_i (IPC_i^alone / IPC_i^scheme)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def throughput(ipcs: Sequence[float]) -> float:
+    """Sum of per-core IPC."""
+    return float(sum(ipcs))
+
+
+def weighted_speedup(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Sum of per-application speedups relative to running alone."""
+    _check(ipcs, alone_ipcs)
+    return float(sum(ipc / alone for ipc, alone in zip(ipcs, alone_ipcs)))
+
+
+def fair_speedup(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of per-application speedups."""
+    _check(ipcs, alone_ipcs)
+    inverse_sum = sum(alone / ipc for ipc, alone in zip(ipcs, alone_ipcs))
+    return len(ipcs) / inverse_sum
+
+
+def _check(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> None:
+    if len(ipcs) != len(alone_ipcs):
+        raise ValueError("need one alone-IPC per application")
+    if not ipcs:
+        raise ValueError("need at least one application")
+    if any(value <= 0 for value in ipcs) or any(value <= 0 for value in alone_ipcs):
+        raise ValueError("IPC values must be positive")

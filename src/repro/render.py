@@ -1,0 +1,51 @@
+"""Text rendering of cache topologies and results (CLI / example helper)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Group = Tuple[int, ...]
+
+
+def render_topology(l2_groups: Sequence[Group], l3_groups: Sequence[Group],
+                    cores: int = 16) -> str:
+    """ASCII picture of a topology: cores, L2 groups, L3 groups.
+
+    Example for ``(2:2:4)`` on 8 cores::
+
+        cores 0  1  2  3  4  5  6  7
+        L2    [0  1][2  3][4  5][6  7]
+        L3    [0  1  2  3][4  5  6  7]
+    """
+    def row(groups: Sequence[Group]) -> str:
+        cells = [""] * cores
+        for group in groups:
+            ordered = sorted(group)
+            for slice_id in ordered:
+                cells[slice_id] = f"{slice_id:<2}"
+            cells[ordered[0]] = "[" + cells[ordered[0]].rstrip().ljust(2)
+            cells[ordered[-1]] = cells[ordered[-1]].rstrip().ljust(2) + "]"
+        return " ".join(cell.ljust(3) for cell in cells).rstrip()
+
+    header = "cores " + " ".join(f"{i:<3}" for i in range(cores)).rstrip()
+    return "\n".join([
+        header,
+        "L2    " + row(l2_groups),
+        "L3    " + row(l3_groups),
+    ])
+
+
+def render_series(values: Sequence[float], width: int = 40,
+                  label: str = "") -> str:
+    """A one-line spark-bar for a throughput series."""
+    if not values:
+        return label
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    bar = "".join(
+        blocks[min(len(blocks) - 1,
+                   int((value - lo) / span * (len(blocks) - 1)))]
+        for value in values
+    )
+    return f"{label}{bar}  [{lo:.3f} .. {hi:.3f}]"

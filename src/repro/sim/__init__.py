@@ -1,0 +1,31 @@
+"""Simulation harness: workloads onto systems, epoch by epoch.
+
+- :mod:`~repro.sim.workload` — bind benchmarks to cores (multiprogrammed
+  mixes, 16-thread PARSEC runs, single-benchmark alone runs).
+- :mod:`~repro.sim.engine` — the epoch-driven trace simulation loop.
+- :mod:`~repro.sim.oracle` — the one-to-one footprint estimator of Figure 5.
+- :mod:`~repro.sim.experiment` — scheme registry, run orchestration and the
+  alone-IPC cache used by the speedup metrics.
+"""
+
+from repro.sim.workload import Workload
+from repro.sim.engine import EpochResult, RunResult, simulate
+from repro.sim.oracle import OracleFootprint
+from repro.sim.experiment import (
+    SCHEME_BUILDERS,
+    alone_ipcs,
+    build_system,
+    run_scheme,
+)
+
+__all__ = [
+    "Workload",
+    "EpochResult",
+    "RunResult",
+    "simulate",
+    "OracleFootprint",
+    "SCHEME_BUILDERS",
+    "build_system",
+    "run_scheme",
+    "alone_ipcs",
+]

@@ -1,0 +1,114 @@
+"""Experiment orchestration: build systems, run schemes, normalise results.
+
+This is the layer the benchmark harness and the examples drive.  A *scheme*
+is a name — ``morphcache``, a static ``(x:y:z)`` label, ``pipp`` or ``dsr``
+— that :func:`build_system` turns into a system implementing the engine
+protocol; :func:`run_scheme` wires it to a workload and simulates.
+
+:func:`alone_ipcs` provides the per-application alone-run IPCs that the
+weighted and fair speedup metrics normalise against (each benchmark run by
+itself on the all-shared baseline machine), cached per machine
+configuration because mixes share benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.dsr import DsrSystem
+from repro.baselines.pipp import PippSystem
+from repro.baselines.ucp import UcpSystem
+from repro.config import MachineConfig, MorphConfig
+from repro.cpu.cmp import CmpSystem
+from repro.sim.engine import RunResult, simulate
+from repro.sim.workload import Workload
+
+MORPHCACHE = "morphcache"
+PIPP = "pipp"
+DSR = "dsr"
+UCP = "ucp"
+
+#: Builders for the non-static schemes; static ``(x:y:z)`` labels are
+#: recognised structurally.
+SCHEME_BUILDERS = {
+    MORPHCACHE: lambda config, workload, seed, morph: CmpSystem(
+        config,
+        morph=morph or MorphConfig(),
+        shared_address_space=workload.shared_address_space,
+    ),
+    PIPP: lambda config, workload, seed, morph: PippSystem(config, seed=seed),
+    DSR: lambda config, workload, seed, morph: DsrSystem(config, seed=seed),
+    UCP: lambda config, workload, seed, morph: UcpSystem(config, seed=seed),
+}
+
+
+def build_system(
+    scheme: str,
+    config: MachineConfig,
+    workload: Workload,
+    seed: int = 0,
+    morph: Optional[MorphConfig] = None,
+):
+    """Instantiate the system under test for a scheme name."""
+    if scheme in SCHEME_BUILDERS:
+        return SCHEME_BUILDERS[scheme](config, workload, seed, morph)
+    if scheme.startswith("("):
+        return CmpSystem(config, static_label=scheme)
+    raise ValueError(
+        f"unknown scheme {scheme!r}: expected {sorted(SCHEME_BUILDERS)} or a "
+        "static '(x:y:z)' label"
+    )
+
+
+def run_scheme(
+    scheme: str,
+    workload: Workload,
+    config: MachineConfig,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    accesses_per_core: Optional[int] = None,
+    warmup_epochs: int = 1,
+    morph: Optional[MorphConfig] = None,
+) -> RunResult:
+    """Build the scheme's system and simulate the workload on it."""
+    system = build_system(scheme, config, workload, seed=seed, morph=morph)
+    result = simulate(
+        system,
+        workload,
+        config,
+        seed=seed,
+        epochs=epochs,
+        accesses_per_core=accesses_per_core,
+        warmup_epochs=warmup_epochs,
+    )
+    result.scheme_name = scheme
+    return result
+
+
+_ALONE_CACHE: Dict[tuple, float] = {}
+
+
+def alone_ipc(
+    benchmark_name: str,
+    config: MachineConfig,
+    seed: int = 0,
+    epochs: int = 2,
+) -> float:
+    """Mean IPC of one benchmark running alone on the all-shared baseline."""
+    key = (benchmark_name, config, seed, epochs)
+    if key not in _ALONE_CACHE:
+        workload = Workload.alone(benchmark_name, cores=config.cores)
+        result = run_scheme("(16:1:1)", workload, config, seed=seed, epochs=epochs)
+        _ALONE_CACHE[key] = result.mean_ipcs()[0]
+    return _ALONE_CACHE[key]
+
+
+def alone_ipcs(
+    benchmark_names: Sequence[str],
+    config: MachineConfig,
+    seed: int = 0,
+    epochs: int = 2,
+) -> List[float]:
+    """Alone-run IPC for each benchmark, in the given (core) order."""
+    return [alone_ipc(name, config, seed=seed, epochs=epochs)
+            for name in benchmark_names]

@@ -1,0 +1,67 @@
+"""Oracle active-cache-footprint estimator (the Figure 5 reference).
+
+The paper's oracle is a one-to-one mapping bit vector — one bit per cache
+line, no hash collisions.  This observer implements exactly that with a set
+of line addresses per (core, level): a line enters the oracle footprint when
+it is *reused* (hit) and leaves when evicted, and the sets are cleared at
+each measurement interval, mirroring the ACFV's epoch reset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.caches.hierarchy import HierarchyObserver
+
+
+class OracleFootprint(HierarchyObserver):
+    """Exact per-core active footprints at L2 and L3."""
+
+    def __init__(self, n_cores: int) -> None:
+        self.n_cores = n_cores
+        self._active: Dict[Tuple[str, int], Set[int]] = {
+            (level, core): set()
+            for level in ("l2", "l3")
+            for core in range(n_cores)
+        }
+
+    def on_hit(self, level: str, slice_id: int, core: int, tag: int) -> None:
+        self._active[(level, core)].add(tag)
+        if level == "l2":
+            self._active[("l3", core)].add(tag)
+
+    def on_evict(self, level: str, slice_id: int, tag: int,
+                 owner: int = -1) -> None:
+        if 0 <= owner < self.n_cores:
+            self._active[(level, owner)].discard(tag)
+
+    # -- queries -----------------------------------------------------------
+
+    def footprint(self, level: str, core: int) -> int:
+        """Exact active footprint in lines."""
+        return len(self._active[(level, core)])
+
+    def reset(self) -> None:
+        """Clear all footprints (measurement-interval boundary)."""
+        for active in self._active.values():
+            active.clear()
+
+
+class FanoutObserver(HierarchyObserver):
+    """Broadcast hierarchy events to several observers (ACFV + oracle)."""
+
+    def __init__(self, *observers: HierarchyObserver) -> None:
+        self.observers = list(observers)
+
+    def on_hit(self, level: str, slice_id: int, core: int, tag: int) -> None:
+        for observer in self.observers:
+            observer.on_hit(level, slice_id, core, tag)
+
+    def on_fill(self, level: str, slice_id: int, core: int, tag: int) -> None:
+        for observer in self.observers:
+            observer.on_fill(level, slice_id, core, tag)
+
+    def on_evict(self, level: str, slice_id: int, tag: int,
+                 owner: int = -1) -> None:
+        for observer in self.observers:
+            observer.on_evict(level, slice_id, tag, owner)

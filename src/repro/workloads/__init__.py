@@ -1,0 +1,53 @@
+"""Workload substrate: synthetic SPEC CPU 2006 / PARSEC reference streams.
+
+The paper drives a full-system simulator with SPEC CPU 2006 (reference
+inputs) and PARSEC (simlarge).  Those binaries and traces are unavailable, so
+this package provides parameterised synthetic address-stream models whose
+active cache footprints (ACFs) are calibrated to the per-benchmark values of
+the paper's Table 4 — see DESIGN.md for why that substitution preserves the
+behaviour MorphCache depends on.
+
+Public API:
+
+- :class:`~repro.workloads.trace.EpochTrace` — one epoch of line-granular
+  memory references for one thread.
+- :class:`~repro.workloads.synthetic.FootprintModel` /
+  :class:`~repro.workloads.synthetic.SyntheticThread` — the reuse model.
+- :mod:`~repro.workloads.spec` — the 29 SPEC benchmark models (Table 4 left).
+- :mod:`~repro.workloads.parsec` — the 12 PARSEC models (Table 4 right).
+- :mod:`~repro.workloads.mixes` — the 12 multiprogrammed mixes (Table 5).
+"""
+
+from repro.workloads.trace import EpochTrace, interleave_round_robin
+from repro.workloads.synthetic import FootprintModel, SyntheticThread
+from repro.workloads.spec import SPEC_BENCHMARKS, SpecBenchmark, spec_benchmark
+from repro.workloads.parsec import PARSEC_BENCHMARKS, ParsecBenchmark, parsec_benchmark
+from repro.workloads.mixes import MIXES, Mix, mix_by_name
+from repro.workloads.tracefile import (
+    RecordedThread,
+    load_traces,
+    record_workload,
+    recorded_threads,
+    save_traces,
+)
+
+__all__ = [
+    "EpochTrace",
+    "interleave_round_robin",
+    "FootprintModel",
+    "SyntheticThread",
+    "SPEC_BENCHMARKS",
+    "SpecBenchmark",
+    "spec_benchmark",
+    "PARSEC_BENCHMARKS",
+    "ParsecBenchmark",
+    "parsec_benchmark",
+    "MIXES",
+    "Mix",
+    "mix_by_name",
+    "RecordedThread",
+    "save_traces",
+    "load_traces",
+    "record_workload",
+    "recorded_threads",
+]

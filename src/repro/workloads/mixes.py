@@ -1,0 +1,100 @@
+"""The 12 multiprogrammed workload mixes of the paper's Table 5.
+
+Each mix binds 16 single-threaded SPEC CPU 2006 benchmarks one-to-one onto
+the 16 cores.  The ``(c0, c1, c2, c3)`` type annotation counts how many
+benchmarks of each ACF class the mix contains (see
+:mod:`repro.workloads.spec` for the class semantics); the counts are
+validated against the benchmark table at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.spec import SpecBenchmark, class_counts, spec_benchmark
+
+
+@dataclass(frozen=True)
+class Mix:
+    """One Table 5 workload mix: a name, its class-type vector, 16 benchmarks."""
+
+    name: str
+    type_counts: Tuple[int, int, int, int]
+    benchmark_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.benchmark_names) != 16:
+            raise ValueError(f"{self.name}: a mix must have 16 benchmarks")
+        actual = class_counts(self.benchmark_names)
+        if actual != self.type_counts:
+            raise ValueError(
+                f"{self.name}: class counts {actual} do not match declared "
+                f"type {self.type_counts}"
+            )
+
+    @property
+    def benchmarks(self) -> List[SpecBenchmark]:
+        """The resolved benchmark objects, in core order."""
+        return [spec_benchmark(name) for name in self.benchmark_names]
+
+
+def _mix(name: str, counts: Tuple[int, int, int, int], names: str) -> Mix:
+    return Mix(
+        name=name,
+        type_counts=counts,
+        benchmark_names=tuple(n.strip() for n in names.split(",")),
+    )
+
+
+#: Table 5, verbatim (using the paper's short benchmark aliases).
+MIXES: List[Mix] = [
+    _mix("MIX 01", (0, 0, 10, 6),
+         "calculix,bwaves,leslie,namd,sjeng,bzip2,povray,soplex,"
+         "cactus,tonto,xalanc,zeusmp,dealII,gcc,gobmk,h264"),
+    _mix("MIX 02", (0, 4, 6, 6),
+         "dealII,gcc,leslie,namd,sjeng,zeusmp,bzip2,calculix,"
+         "gobmk,h264,gomacs,hmmer,wrf,milc,tonto,xalanc"),
+    _mix("MIX 03", (0, 8, 4, 4),
+         "gromacs,hmmer,mcf,sphinx,wrf,astar,milc,omnetpp,"
+         "namd,cactus,gobmk,soplex,gcc,calculix,h264,tonto"),
+    _mix("MIX 04", (0, 8, 8, 0),
+         "gromacs,hmmer,mcf,sphinx,wrf,astar,milc,omnetpp,"
+         "bwaves,namd,leslie,sjeng,zeusmp,bzip2,povray,soplex"),
+    _mix("MIX 05", (2, 2, 6, 6),
+         "gamess,libm,sphinx,astar,bwaves,namd,sjeng,gobmk,"
+         "povray,soplex,dealII,gcc,calculix,h264,tonto,xalanc"),
+    _mix("MIX 06", (2, 6, 2, 6),
+         "dealII,libq,perl,gromacs,hmmer,mcf,wrf,astar,"
+         "milc,sjeng,gobmk,gcc,calculix,h264,tonto,xalanc"),
+    _mix("MIX 07", (4, 0, 6, 6),
+         "gcc,libm,libq,perl,cactus,zeusmp,bzip2,gobmk,"
+         "povray,soplex,dealII,gamess,calculix,h264,tonto,xalanc"),
+    _mix("MIX 08", (4, 4, 4, 4),
+         "hmmer,mcf,libq,wrf,omnetpp,Gems,bwaves,bzip2,"
+         "gobmk,perl,povray,gcc,calculix,libm,h264,xalanc"),
+    _mix("MIX 09", (4, 4, 8, 0),
+         "Gems,gamess,libm,libq,astar,gromacs,hmmer,milc,"
+         "bwaves,leslie,sjeng,povray,gobmk,soplex,bzip2,zeusmp"),
+    _mix("MIX 10", (4, 6, 0, 6),
+         "perl,hmmer,mcf,wrf,astar,milc,Gems,omnetpp,"
+         "dealII,libm,gcc,calculix,h264,gamess,tonto,xalanc"),
+    _mix("MIX 11", (4, 8, 0, 4),
+         "libm,libq,gromacs,hmmer,mcf,sphinx,wrf,gamess,"
+         "astar,milc,omnetpp,gcc,Gems,h264,tonto,xalanc"),
+    _mix("MIX 12", (4, 8, 4, 0),
+         "gamess,libm,libq,perl,gromacs,hmmer,mcf,sphinx,"
+         "wrf,astar,milc,omnetpp,sjeng,zeusmp,gobmk,soplex"),
+]
+
+_BY_NAME: Dict[str, Mix] = {mix.name: mix for mix in MIXES}
+
+
+def mix_by_name(name: str) -> Mix:
+    """Look up a mix by its Table 5 name, e.g. ``"MIX 01"`` (or ``"01"``)."""
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    padded = f"MIX {name.strip().zfill(2)}"
+    if padded in _BY_NAME:
+        return _BY_NAME[padded]
+    raise ValueError(f"unknown mix {name!r}; choose from {sorted(_BY_NAME)}")

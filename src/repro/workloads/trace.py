@@ -1,0 +1,86 @@
+"""Trace representation for the epoch-driven simulator.
+
+A trace is the unit the CMP engine consumes: for each thread and epoch, a
+sequence of line-granular memory references together with the number of
+non-memory instructions issued since the previous reference (the "gap").
+Traces are stored as parallel numpy arrays because the generators produce
+hundreds of thousands of references per epoch and per-element Python objects
+would dominate memory and time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class EpochTrace:
+    """One epoch of memory references for a single thread.
+
+    Attributes:
+        lines: int64 array of line addresses (byte address >> 6).
+        writes: bool array; True where the reference is a store.
+        gaps: int32 array of non-memory instructions preceding each
+            reference.  Instructions executed in the epoch are
+            ``gaps.sum() + len(lines)``.
+    """
+
+    lines: np.ndarray
+    writes: np.ndarray
+    gaps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.lines) == len(self.writes) == len(self.gaps)):
+            raise ValueError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented by this trace."""
+        return int(self.gaps.sum()) + len(self.lines)
+
+    @property
+    def unique_lines(self) -> int:
+        """Number of distinct lines referenced (the oracle epoch footprint)."""
+        return len(np.unique(self.lines))
+
+    def __iter__(self) -> Iterator[Tuple[int, bool, int]]:
+        lines, writes, gaps = self.lines, self.writes, self.gaps
+        for i in range(len(lines)):
+            yield int(lines[i]), bool(writes[i]), int(gaps[i])
+
+    @staticmethod
+    def concatenate(traces: Sequence["EpochTrace"]) -> "EpochTrace":
+        """Join several traces of the same thread end to end."""
+        if not traces:
+            raise ValueError("need at least one trace")
+        return EpochTrace(
+            lines=np.concatenate([t.lines for t in traces]),
+            writes=np.concatenate([t.writes for t in traces]),
+            gaps=np.concatenate([t.gaps for t in traces]),
+        )
+
+
+def interleave_round_robin(traces: Sequence[EpochTrace]) -> List[Tuple[int, int, bool, int]]:
+    """Merge per-thread traces into one global order.
+
+    Returns a list of ``(thread_id, line, is_write, gap)`` tuples obtained by
+    taking one reference from each thread in turn.  This approximates the
+    cores progressing at equal rates, which is how the shared cache levels
+    see interleaved request streams in the paper's simulator.  Threads with
+    shorter traces simply finish early.
+    """
+    order: List[Tuple[int, int, bool, int]] = []
+    longest = max((len(t) for t in traces), default=0)
+    for i in range(longest):
+        for tid, trace in enumerate(traces):
+            if i < len(trace):
+                order.append(
+                    (tid, int(trace.lines[i]), bool(trace.writes[i]), int(trace.gaps[i]))
+                )
+    return order

@@ -1,0 +1,124 @@
+"""Trace file I/O: record and replay memory reference traces.
+
+The simulator is trace-driven; nothing ties it to the synthetic generators.
+This module provides a compact on-disk format (compressed ``.npz``, one
+array triple per thread and epoch) so users can
+
+- capture the synthetic workloads for exact replay or external analysis, or
+- feed *real* traces (e.g. from Pin/DynamoRIO tooling, converted to line
+  addresses) through the MorphCache substrate.
+
+A trace file stores, per (thread, epoch): ``lines`` (int64), ``writes``
+(bool) and ``gaps`` (int32), exactly the :class:`EpochTrace` arrays.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.trace import EpochTrace
+
+_FORMAT_KEY = "__tracefile_format__"
+_FORMAT_VERSION = 1
+
+
+def save_traces(path, traces: Dict[int, Sequence[EpochTrace]]) -> None:
+    """Write per-thread epoch traces to ``path`` (.npz, compressed).
+
+    Args:
+        path: destination file.
+        traces: thread id -> list of that thread's epoch traces.
+    """
+    arrays = {_FORMAT_KEY: np.array([_FORMAT_VERSION])}
+    for thread_id, epochs in traces.items():
+        for epoch_index, trace in enumerate(epochs):
+            prefix = f"t{thread_id}_e{epoch_index}"
+            arrays[f"{prefix}_lines"] = trace.lines
+            arrays[f"{prefix}_writes"] = trace.writes
+            arrays[f"{prefix}_gaps"] = trace.gaps
+    np.savez_compressed(path, **arrays)
+
+
+def load_traces(path) -> Dict[int, List[EpochTrace]]:
+    """Read a trace file back into per-thread epoch traces."""
+    with np.load(path) as data:
+        if _FORMAT_KEY not in data or int(data[_FORMAT_KEY][0]) != _FORMAT_VERSION:
+            raise ValueError(f"{path} is not a version-{_FORMAT_VERSION} trace file")
+        keys = [key for key in data.files if key.endswith("_lines")]
+        result: Dict[int, List[EpochTrace]] = {}
+        for key in keys:
+            prefix = key[: -len("_lines")]
+            thread_part, epoch_part = prefix.split("_")
+            thread_id, epoch_index = int(thread_part[1:]), int(epoch_part[1:])
+            result.setdefault(thread_id, [])
+            epochs = result[thread_id]
+            while len(epochs) <= epoch_index:
+                epochs.append(None)  # type: ignore[arg-type]
+            epochs[epoch_index] = EpochTrace(
+                lines=data[f"{prefix}_lines"],
+                writes=data[f"{prefix}_writes"],
+                gaps=data[f"{prefix}_gaps"],
+            )
+    for thread_id, epochs in result.items():
+        if any(trace is None for trace in epochs):
+            raise ValueError(f"thread {thread_id} has missing epochs in {path}")
+    return result
+
+
+class RecordedThread:
+    """Replays a recorded thread through the engine's generator protocol.
+
+    Drop-in for :class:`~repro.workloads.synthetic.SyntheticThread`: each
+    ``generate(n)`` call returns the next recorded epoch.  ``n`` must not
+    exceed the recorded epoch length; shorter requests replay a prefix
+    (useful for quick looks at long captures).  When the recording runs
+    out, it wraps around to the first epoch.
+    """
+
+    def __init__(self, thread_id: int, epochs: Sequence[EpochTrace]) -> None:
+        if not epochs:
+            raise ValueError("a recorded thread needs at least one epoch")
+        self.thread_id = thread_id
+        self.epochs = list(epochs)
+        self._cursor = 0
+
+    def generate(self, accesses: int) -> EpochTrace:
+        trace = self.epochs[self._cursor % len(self.epochs)]
+        self._cursor += 1
+        if accesses > len(trace):
+            raise ValueError(
+                f"requested {accesses} accesses but epoch holds {len(trace)}"
+            )
+        if accesses == len(trace):
+            return trace
+        return EpochTrace(
+            lines=trace.lines[:accesses],
+            writes=trace.writes[:accesses],
+            gaps=trace.gaps[:accesses],
+        )
+
+
+def record_workload(workload, config, epochs: int, path,
+                    seed: int = 0,
+                    accesses_per_core: Optional[int] = None) -> None:
+    """Capture a workload's synthetic traces to a file for replay."""
+    accesses = accesses_per_core or config.accesses_per_core_per_epoch
+    threads = workload.build_threads(config, seed=seed)
+    captured: Dict[int, List[EpochTrace]] = {}
+    for core, thread in enumerate(threads):
+        if thread is None:
+            continue
+        captured[core] = [thread.generate(accesses) for _ in range(epochs)]
+    save_traces(path, captured)
+
+
+def recorded_threads(path, cores: int) -> List[Optional[RecordedThread]]:
+    """Build the engine's thread list from a trace file."""
+    traces = load_traces(path)
+    return [
+        RecordedThread(core, traces[core]) if core in traces else None
+        for core in range(cores)
+    ]

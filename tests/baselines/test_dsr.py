@@ -1,0 +1,104 @@
+"""Tests for the DSR baseline (Qureshi, extended to L2+L3)."""
+
+import pytest
+
+from repro.baselines.dsr import PSEL_INIT, PSEL_MAX, DsrLevel, DsrSystem
+from repro.config import TINY
+
+
+def make_level(sets=8, ways=2, n_slices=4):
+    return DsrLevel(sets=sets, ways=ways, n_slices=n_slices, seed=1)
+
+
+class TestSetDueling:
+    def test_sample_roles_fixed(self):
+        level = make_level()
+        assert level._set_role(0, 0) == "spill"
+        assert level._set_role(0, 1) == "receive"
+
+    def test_follower_sets_follow_psel(self):
+        level = make_level()
+        level.psel[0] = PSEL_MAX
+        assert level._set_role(0, 2) == "spill"
+        level.psel[0] = 0
+        assert level._set_role(0, 2) == "receive"
+
+    def test_miss_in_spill_sample_decrements(self):
+        level = make_level()
+        before = level.psel[0]
+        level.lookup(0, 0, stamp=1)  # set 0 = spill sample, miss
+        assert level.psel[0] == before - 1
+
+    def test_miss_in_receive_sample_increments(self):
+        level = make_level()
+        before = level.psel[0]
+        level.lookup(0, 1, stamp=1)  # set 1 = receive sample, miss
+        assert level.psel[0] == before + 1
+
+    def test_psel_saturates(self):
+        level = make_level()
+        level.psel[0] = 0
+        level.lookup(0, 0, stamp=1)
+        assert level.psel[0] == 0
+
+
+class TestSpillReceive:
+    def test_local_hit(self):
+        level = make_level()
+        level.fill(0, 16, False, stamp=1)
+        assert level.lookup(0, 16, stamp=2) == "local"
+
+    def test_remote_hit_on_spilled_line(self):
+        level = make_level(sets=8, ways=1, n_slices=2)
+        level.psel[0] = PSEL_MAX      # slice 0 spills
+        level.psel[1] = 0             # slice 1 receives
+        # Fill a follower set (set 2) and overflow it to force a spill.
+        level.fill(0, 2, False, stamp=1)
+        level.fill(0, 2 + 8, False, stamp=2)  # same set, evicts line 2
+        if level.spills:
+            assert level.lookup(0, 2, stamp=3) == "remote"
+
+    def test_no_spill_without_receivers(self):
+        level = make_level(n_slices=2)
+        level.psel = [PSEL_MAX, PSEL_MAX]  # everyone spills
+        level.fill(0, 0, False, stamp=1)
+        level.fill(0, 8, False, stamp=2)
+        level.fill(0, 16, False, stamp=3)  # overflow, but nowhere to go
+        assert level.spills == 0
+
+    def test_receiver_never_spills(self):
+        level = make_level(sets=8, ways=1, n_slices=2)
+        level.psel[0] = 0  # receiver
+        level.fill(0, 2, False, stamp=1)
+        level.fill(0, 10, False, stamp=2)
+        assert level.spills == 0
+
+    def test_miss_everywhere_returns_none(self):
+        level = make_level()
+        assert level.lookup(0, 99, stamp=1) is None
+
+
+class TestDsrSystem:
+    def test_protocol(self):
+        system = DsrSystem(TINY, seed=2)
+        assert system.access(0, 0x50, False) == TINY.latency.memory
+        assert system.access(0, 0x50, False) == TINY.latency.l1_hit
+        assert system.end_epoch() == "dsr"
+        assert system.miss_counts()[0] == 1
+
+    def test_private_slices_do_not_share_by_default(self):
+        system = DsrSystem(TINY, seed=2)
+        system.access(0, 0x60, False)
+        # Core 1 misses L1/L2 locally; the line is only in core 0's slices,
+        # so it can only be found via a remote (spilled) probe - but the
+        # line was never spilled, it lives in core 0's slice, which IS
+        # probed remotely.  DSR always snoops peers, so this is a remote
+        # hit at merged latency.
+        latency = system.access(1, 0x60, False)
+        assert latency in (TINY.latency.l2_merged_hit, TINY.latency.l3_merged_hit)
+
+    def test_remote_hits_counted(self):
+        system = DsrSystem(TINY, seed=2)
+        system.access(0, 0x70, False)
+        system.access(1, 0x70, False)
+        assert system.l2.remote_hits + system.l3.remote_hits >= 1

@@ -1,0 +1,50 @@
+"""Tests for the ideal offline scheme (Figure 15)."""
+
+import pytest
+
+from repro.baselines.offline_ideal import ideal_offline
+from repro.sim.engine import EpochResult, RunResult
+
+
+def make_run(scheme, series):
+    return RunResult(
+        workload_name="w",
+        scheme_name=scheme,
+        epochs=[EpochResult(i, {0: value}, {0: 0}, scheme)
+                for i, value in enumerate(series)],
+    )
+
+
+class TestIdealOffline:
+    def test_pointwise_maximum(self):
+        runs = [make_run("a", [1.0, 3.0]), make_run("b", [2.0, 1.0])]
+        ideal = ideal_offline(runs)
+        assert ideal.throughput_series() == [2.0, 3.0]
+
+    def test_labels_winning_scheme(self):
+        runs = [make_run("a", [1.0, 3.0]), make_run("b", [2.0, 1.0])]
+        ideal = ideal_offline(runs)
+        assert [e.topology_label for e in ideal.epochs] == ["b", "a"]
+
+    def test_ideal_at_least_best_static(self):
+        runs = [make_run("a", [1.0, 3.0, 2.0]), make_run("b", [2.0, 1.0, 2.5])]
+        ideal = ideal_offline(runs)
+        assert ideal.mean_throughput >= max(r.mean_throughput for r in runs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ideal_offline([])
+
+    def test_rejects_mixed_workloads(self):
+        a = make_run("a", [1.0])
+        b = make_run("b", [1.0])
+        b.workload_name = "other"
+        with pytest.raises(ValueError):
+            ideal_offline([a, b])
+
+    def test_rejects_mismatched_epochs(self):
+        with pytest.raises(ValueError):
+            ideal_offline([make_run("a", [1.0]), make_run("b", [1.0, 2.0])])
+
+    def test_scheme_name(self):
+        assert ideal_offline([make_run("a", [1.0])]).scheme_name == "ideal-offline"

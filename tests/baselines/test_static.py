@@ -1,0 +1,61 @@
+"""Tests for the static topology catalogue and CmpSystem assembly."""
+
+import pytest
+
+from repro.baselines.static_topologies import (
+    BASELINE_LABEL,
+    EXTENDED_STATIC_LABELS,
+    STATIC_LABELS,
+)
+from repro.config import TINY
+from repro.core.topology import parse_config_label
+from repro.cpu.cmp import CmpSystem
+
+
+class TestCatalogue:
+    def test_baseline_is_all_shared(self):
+        assert BASELINE_LABEL == "(16:1:1)"
+        assert BASELINE_LABEL in STATIC_LABELS
+
+    def test_five_figure13_configurations(self):
+        assert len(STATIC_LABELS) == 5
+
+    def test_all_labels_parse(self):
+        for label in EXTENDED_STATIC_LABELS:
+            l2, l3 = parse_config_label(label)
+            assert sorted(s for g in l2 for s in g) == list(range(16))
+
+    def test_best_ws_static_included(self):
+        """The paper's best-WS static (2:2:4) is in the extended sweep."""
+        assert "(2:2:4)" in EXTENDED_STATIC_LABELS
+
+
+class TestCmpSystem:
+    def test_static_topology_installed(self):
+        system = CmpSystem(TINY, static_label="(4:4:1)")
+        assert len(system.hierarchy.l2_groups) == 4
+        assert len(system.hierarchy.l3_groups) == 1
+        assert system.label == "(4:4:1)"
+
+    def test_static_does_not_charge_remote(self):
+        system = CmpSystem(TINY, static_label="(16:1:1)")
+        assert not system.hierarchy.charge_remote_latency
+
+    def test_morph_charges_remote(self):
+        system = CmpSystem(TINY)
+        assert system.hierarchy.charge_remote_latency
+        assert system.label == "morphcache"
+
+    def test_cannot_mix_static_and_morph(self):
+        from repro.config import MorphConfig
+        with pytest.raises(ValueError):
+            CmpSystem(TINY, static_label="(4:4:1)", morph=MorphConfig())
+
+    def test_end_epoch_returns_label(self):
+        system = CmpSystem(TINY, static_label="(8:2:1)")
+        assert system.end_epoch() == "(8:2:1)"
+
+    def test_miss_counts_protocol(self):
+        system = CmpSystem(TINY, static_label="(16:1:1)")
+        system.access(0, 0x10, False)
+        assert system.miss_counts()[0] == 1

@@ -1,0 +1,74 @@
+"""Tests for the UCP baseline (strict utility-based partitioning)."""
+
+import pytest
+
+from repro.baselines.ucp import UcpCache, UcpSystem
+from repro.config import TINY
+
+
+class TestUcpCache:
+    def make_cache(self):
+        return UcpCache(sets=4, ways=8, n_cores=2)
+
+    def test_lookup_promotes_to_mru(self):
+        cache = self.make_cache()
+        cache.fill(0, 0)
+        cache.fill(0, 4)
+        assert cache.lookup(0, 0)
+        entries = cache._data[0]
+        assert entries[-1][0] == 0
+
+    def test_eviction_targets_over_quota_core(self):
+        cache = self.make_cache()
+        cache.allocations = [6, 2]
+        # Core 1 floods the set beyond its 2-way quota.
+        for k in range(5):
+            cache.fill(1, k * 4)
+        cache.fill(0, 100 * 4)
+        cache.fill(0, 101 * 4)
+        cache.fill(0, 102 * 4)
+        victim = cache.fill(0, 103 * 4)
+        # The set was full; the victim must be one of core 1's lines.
+        assert victim in {k * 4 for k in range(5)}
+        assert cache.occupancy_of(1) < 5
+
+    def test_falls_back_to_global_lru(self):
+        cache = self.make_cache()
+        cache.allocations = [8, 8]  # nobody can be over quota
+        for k in range(8):
+            cache.fill(0, k * 4)
+        victim = cache.fill(0, 99 * 4)
+        assert victim == 0  # global LRU
+
+    def test_repartition_from_monitors(self):
+        cache = self.make_cache()
+        # Core 0 reuses heavily; core 1 streams.
+        for _ in range(30):
+            cache.lookup(0, 0)
+        for line in range(60):
+            cache.lookup(1, line * 4)
+        allocations = cache.repartition()
+        assert allocations[0] >= 1
+        assert sum(allocations) <= cache.ways
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(ValueError):
+            UcpCache(sets=3, ways=4, n_cores=2)
+
+
+class TestUcpSystem:
+    def test_protocol(self):
+        system = UcpSystem(TINY)
+        assert system.access(0, 0x10, False) == TINY.latency.memory
+        assert system.access(0, 0x10, False) == TINY.latency.l1_hit
+        assert system.end_epoch() == "ucp"
+        assert system.miss_counts()[0] == 1
+
+    def test_shared_visibility(self):
+        system = UcpSystem(TINY)
+        system.access(0, 0x20, False)
+        assert system.access(1, 0x20, False) == TINY.latency.l2_local_hit
+
+    def test_registered_as_scheme(self):
+        from repro.sim.experiment import SCHEME_BUILDERS
+        assert "ucp" in SCHEME_BUILDERS

@@ -1,0 +1,172 @@
+"""Tests for a single set-associative cache slice."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.cache import CacheSlice
+
+
+def make_slice(sets=4, ways=2, replacement="lru"):
+    return CacheSlice(sets=sets, ways=ways, replacement=replacement)
+
+
+class TestAddressing:
+    def test_set_index_uses_low_bits(self):
+        slice_ = make_slice(sets=4)
+        assert slice_.set_index(0b1011) == 0b11
+        assert slice_.set_index(0b1000) == 0b00
+
+    def test_tag_strips_index_bits(self):
+        slice_ = make_slice(sets=4)
+        assert slice_.tag(0b10110) == 0b101
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheSlice(sets=6, ways=2)
+
+
+class TestLookupInsert:
+    def test_miss_on_empty(self):
+        assert make_slice().lookup(0x10) is None
+
+    def test_hit_after_insert(self):
+        slice_ = make_slice()
+        slice_.insert(0x10, owner=0, dirty=False, stamp=1)
+        entry = slice_.lookup(0x10)
+        assert entry is not None
+        assert entry.line == 0x10
+        assert entry.owner == 0
+
+    def test_contains_protocol(self):
+        slice_ = make_slice()
+        slice_.insert(0x10, 0, False, 1)
+        assert 0x10 in slice_
+        assert 0x20 not in slice_
+
+    def test_no_eviction_with_room(self):
+        slice_ = make_slice(sets=1, ways=2)
+        assert slice_.insert(0, 0, False, 1) is None
+        assert slice_.insert(1, 0, False, 2) is None
+
+    def test_eviction_when_set_full(self):
+        slice_ = make_slice(sets=1, ways=2)
+        slice_.insert(0, 0, False, 1)
+        slice_.insert(1, 0, False, 2)
+        victim = slice_.insert(2, 0, False, 3)
+        assert victim is not None
+        assert victim.line == 0  # LRU
+
+    def test_lru_respects_touch(self):
+        slice_ = make_slice(sets=1, ways=2)
+        slice_.insert(0, 0, False, 1)
+        slice_.insert(1, 0, False, 2)
+        slice_.touch(slice_.lookup(0), stamp=3)
+        victim = slice_.insert(2, 0, False, 4)
+        assert victim.line == 1
+
+    def test_different_sets_do_not_conflict(self):
+        slice_ = make_slice(sets=2, ways=1)
+        assert slice_.insert(0, 0, False, 1) is None
+        assert slice_.insert(1, 0, False, 2) is None  # other set
+
+    def test_victim_candidate_matches_actual_victim(self):
+        slice_ = make_slice(sets=1, ways=2)
+        slice_.insert(0, 0, False, 1)
+        slice_.insert(1, 0, False, 2)
+        candidate = slice_.victim_candidate(2)
+        victim = slice_.insert(2, 0, False, 3)
+        assert candidate is victim
+
+    def test_victim_candidate_none_with_room(self):
+        slice_ = make_slice(sets=1, ways=2)
+        slice_.insert(0, 0, False, 1)
+        assert slice_.victim_candidate(2) is None
+
+    def test_has_room(self):
+        slice_ = make_slice(sets=1, ways=1)
+        assert slice_.has_room(0)
+        slice_.insert(0, 0, False, 1)
+        assert not slice_.has_room(1)
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        slice_ = make_slice()
+        slice_.insert(0x10, 0, False, 1)
+        removed = slice_.invalidate(0x10)
+        assert removed.line == 0x10
+        assert slice_.lookup(0x10) is None
+
+    def test_invalidate_missing_returns_none(self):
+        assert make_slice().invalidate(0x99) is None
+
+    def test_invalidate_entry_object(self):
+        slice_ = make_slice()
+        slice_.insert(0x10, 0, False, 1)
+        entry = slice_.lookup(0x10)
+        assert slice_.invalidate_entry(entry)
+        assert not slice_.invalidate_entry(entry)
+
+    def test_flush_empties_and_returns_everything(self):
+        slice_ = make_slice(sets=2, ways=2)
+        for line in range(4):
+            slice_.insert(line, 0, False, line)
+        removed = slice_.flush()
+        assert len(removed) == 4
+        assert slice_.occupancy() == 0
+
+
+class TestIntrospection:
+    def test_occupancy_counts_valid_lines(self):
+        slice_ = make_slice(sets=2, ways=2)
+        slice_.insert(0, 0, False, 1)
+        slice_.insert(1, 0, False, 2)
+        assert slice_.occupancy() == 2
+
+    def test_resident_lines(self):
+        slice_ = make_slice(sets=2, ways=2)
+        slice_.insert(5, 0, False, 1)
+        assert slice_.resident_lines() == [5]
+
+    def test_entries_snapshot(self):
+        slice_ = make_slice()
+        slice_.insert(7, 1, True, 3)
+        (entry,) = slice_.entries()
+        assert (entry.line, entry.owner, entry.dirty) == (7, 1, True)
+
+    def test_repr_mentions_occupancy(self):
+        slice_ = make_slice()
+        assert "occupancy=0" in repr(slice_)
+
+
+class TestPlruSlice:
+    def test_plru_slice_never_evicts_mru(self):
+        slice_ = make_slice(sets=1, ways=4, replacement="plru")
+        for line in range(4):
+            slice_.insert(line, 0, False, line)
+        slice_.touch(slice_.lookup(2), stamp=10)
+        victim = slice_.insert(9, 0, False, 11)
+        assert victim.line != 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), min_size=1,
+                max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_occupancy_never_exceeds_capacity(operations):
+    """Property: occupancy is bounded and per-set size never exceeds ways."""
+    slice_ = CacheSlice(sets=4, ways=2)
+    stamp = 0
+    for line, is_write in operations:
+        stamp += 1
+        entry = slice_.lookup(line)
+        if entry is None:
+            slice_.insert(line, 0, is_write, stamp)
+        else:
+            slice_.touch(entry, stamp)
+    assert slice_.occupancy() <= 8
+    for set_lines in range(4):
+        in_set = [l for l in slice_.resident_lines()
+                  if slice_.set_index(l) == set_lines]
+        assert len(in_set) <= 2
+        assert len(set(in_set)) == len(in_set)  # no duplicates

@@ -1,0 +1,61 @@
+"""Tests for latency accounting details of the hierarchy."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import TINY
+
+
+def merged_topology(group, n=16):
+    rest = [(i,) for i in range(n) if i not in group]
+    return sorted([tuple(group)] + rest, key=min)
+
+
+class TestDistancePenalty:
+    def _remote_hit_latency(self, group, requester, holder):
+        hierarchy = CacheHierarchy(TINY)
+        topo = merged_topology(group)
+        hierarchy.set_topology(topo, topo)
+        hierarchy.access(holder, 0x9000)
+        hierarchy.l1s[requester].flush()
+        result = hierarchy.access(requester, 0x9000)
+        assert result.remote
+        return result.latency
+
+    def test_neighbour_remote_hit_is_flat_merged_latency(self):
+        latency = self._remote_hit_latency((0, 1), requester=0, holder=1)
+        assert latency == TINY.latency.l2_merged_hit
+
+    def test_distant_slice_pays_span_cost(self):
+        latency = self._remote_hit_latency((0, 1, 2, 3), requester=0, holder=3)
+        expected = (TINY.latency.l2_merged_hit
+                    + 2 * TINY.latency.distance_cycles_per_hop)
+        assert latency == expected
+
+    def test_static_mode_has_no_distance_penalty(self):
+        hierarchy = CacheHierarchy(TINY, charge_remote_latency=False)
+        topo = merged_topology((0, 1, 2, 3))
+        hierarchy.set_topology(topo, topo)
+        hierarchy.access(3, 0x9000)
+        hierarchy.l1s[0].flush()
+        result = hierarchy.access(0, 0x9000)
+        assert result.latency == TINY.latency.l2_local_hit
+
+
+class TestLevelLatencies:
+    def test_l3_merged_hit_latency(self):
+        hierarchy = CacheHierarchy(TINY)
+        l3_topo = merged_topology((0, 1))
+        hierarchy.set_topology([(i,) for i in range(16)], l3_topo)
+        hierarchy.access(1, 0xA000)
+        hierarchy.l1s[0].flush()
+        # Remove the L2 copy so the hit happens at L3 in slice 1.
+        hierarchy.l2s[1].invalidate(0xA000)
+        result = hierarchy.access(0, 0xA000)
+        assert result.level == "l3"
+        assert result.latency == TINY.latency.l3_merged_hit
+
+    def test_memory_latency_with_write_coherence(self):
+        hierarchy = CacheHierarchy(TINY)
+        result = hierarchy.access(0, 0xB000, write=True)
+        assert result.latency == TINY.latency.memory

@@ -1,0 +1,82 @@
+"""Tests for the LRU and tree-PLRU replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.replacement import LruPolicy, TreePlruPolicy, make_policy
+
+
+class TestLruPolicy:
+    def test_victim_is_oldest_stamp(self):
+        policy = LruPolicy(sets=4, ways=4)
+        assert policy.victim(0, [7, 3, 9, 5]) == 1
+
+    def test_victim_with_single_way(self):
+        policy = LruPolicy(sets=1, ways=1)
+        assert policy.victim(0, [42]) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            LruPolicy(sets=0, ways=4)
+
+
+class TestTreePlruPolicy:
+    def test_untouched_tree_victims_way_zero(self):
+        policy = TreePlruPolicy(sets=2, ways=4)
+        assert policy.victim(0, [0] * 4) == 0
+
+    def test_touch_protects_accessed_way(self):
+        policy = TreePlruPolicy(sets=1, ways=4)
+        policy.touch(0, 0)
+        assert policy.victim(0, [0] * 4) != 0
+
+    def test_round_trip_all_ways(self):
+        """Touching ways in order leaves the first way as victim again."""
+        policy = TreePlruPolicy(sets=1, ways=8)
+        for way in range(8):
+            policy.touch(0, way)
+        # After touching everything ending at way 7, the victim must be in
+        # the opposite (left) half.
+        assert policy.victim(0, [0] * 8) < 4
+
+    def test_victim_never_most_recently_touched(self):
+        policy = TreePlruPolicy(sets=1, ways=8)
+        for way in [3, 7, 1, 5, 0, 2]:
+            policy.touch(0, way)
+            assert policy.victim(0, [0] * 8) != way
+
+    def test_sets_are_independent(self):
+        policy = TreePlruPolicy(sets=2, ways=4)
+        policy.touch(0, 0)
+        assert policy.victim(1, [0] * 4) == 0
+
+    def test_single_way_degenerate(self):
+        policy = TreePlruPolicy(sets=1, ways=1)
+        policy.touch(0, 0)
+        assert policy.victim(0, [0]) == 0
+
+    def test_rejects_non_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            TreePlruPolicy(sets=2, ways=3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_victim_always_in_range_and_not_mru(self, touches):
+        policy = TreePlruPolicy(sets=1, ways=8)
+        for way in touches:
+            policy.touch(0, way)
+        victim = policy.victim(0, [0] * 8)
+        assert 0 <= victim < 8
+        assert victim != touches[-1]
+
+
+class TestMakePolicy:
+    def test_builds_both(self):
+        assert isinstance(make_policy("lru", 2, 2), LruPolicy)
+        assert isinstance(make_policy("plru", 2, 2), TreePlruPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("fifo", 2, 2)

@@ -1,0 +1,53 @@
+"""Tests for the statistics containers."""
+
+from repro.caches.stats import CoreStats, HierarchyStats, SliceStats
+
+
+class TestCoreStats:
+    def test_derived_counters(self):
+        stats = CoreStats(l2_local_hits=3, l2_remote_hits=2,
+                          l3_local_hits=1, l3_remote_hits=4,
+                          memory_accesses=7)
+        assert stats.l2_hits == 5
+        assert stats.l3_hits == 5
+        assert stats.misses == 7
+
+    def test_ipc(self):
+        stats = CoreStats(instructions=100, cycles=50.0)
+        assert stats.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats().ipc == 0.0
+
+    def test_reset_window(self):
+        stats = CoreStats(accesses=5, l1_hits=3, cycles=10.0, instructions=8)
+        stats.reset_window()
+        assert stats.accesses == 0
+        assert stats.l1_hits == 0
+        assert stats.cycles == 0.0
+        assert stats.instructions == 0
+
+
+class TestSliceStats:
+    def test_reset_window(self):
+        stats = SliceStats(hits=1, misses=2, insertions=3, evictions=4,
+                           lazy_invalidations=5)
+        stats.reset_window()
+        assert (stats.hits, stats.misses, stats.insertions,
+                stats.evictions, stats.lazy_invalidations) == (0, 0, 0, 0, 0)
+
+
+class TestHierarchyStats:
+    def test_for_machine_builds_all_counters(self):
+        stats = HierarchyStats.for_machine(4)
+        assert set(stats.cores) == {0, 1, 2, 3}
+        assert set(stats.l2_slices) == {0, 1, 2, 3}
+        assert set(stats.l3_slices) == {0, 1, 2, 3}
+
+    def test_reset_window_cascades(self):
+        stats = HierarchyStats.for_machine(2)
+        stats.cores[0].accesses = 9
+        stats.l2_slices[1].hits = 4
+        stats.reset_window()
+        assert stats.cores[0].accesses == 0
+        assert stats.l2_slices[1].hits == 0

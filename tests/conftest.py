@@ -1,0 +1,38 @@
+"""Shared fixtures for the MorphCache reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TINY, MachineConfig, MorphConfig
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name, parsec_benchmark
+
+
+@pytest.fixture
+def tiny_config() -> MachineConfig:
+    """The 1/128-scale machine used throughout the unit tests."""
+    return TINY
+
+
+@pytest.fixture
+def tiny_fast(tiny_config) -> MachineConfig:
+    """Tiny machine with a very short epoch for integration tests."""
+    return tiny_config.with_(accesses_per_core_per_epoch=300, epochs=2)
+
+
+@pytest.fixture
+def mix_workload() -> Workload:
+    """A representative multiprogrammed workload (MIX 08, all four classes)."""
+    return Workload.from_mix(mix_by_name("MIX 08"))
+
+
+@pytest.fixture
+def parsec_workload() -> Workload:
+    """A representative multithreaded workload."""
+    return Workload.from_parsec(parsec_benchmark("dedup"))
+
+
+@pytest.fixture
+def morph_config() -> MorphConfig:
+    return MorphConfig()

@@ -1,0 +1,116 @@
+"""Tests for the MorphCache controller (the epoch boundary)."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import TINY, MorphConfig
+from repro.core.controller import MorphCacheController
+from repro.workloads import interleave_round_robin, spec_benchmark
+from repro.workloads.synthetic import SyntheticThread
+
+
+def build_attached(morph=None, shared=False):
+    controller = MorphCacheController(TINY, morph, shared_address_space=shared)
+    hierarchy = CacheHierarchy(TINY)
+    controller.attach(hierarchy)
+    return controller, hierarchy
+
+
+def run_epochs(controller, hierarchy, benchmarks, epochs=3, accesses=400, seed=11):
+    threads = [
+        SyntheticThread(spec_benchmark(name).model, i, TINY.l2_slice,
+                        TINY.l3_slice, seed=seed)
+        for i, name in enumerate(benchmarks)
+    ]
+    for _ in range(epochs):
+        traces = [t.generate(accesses) for t in threads]
+        for tid, line, write, _gap in interleave_round_robin(traces):
+            hierarchy.access(tid, line, write)
+        controller.end_epoch()
+
+
+class TestWiring:
+    def test_attach_installs_private_topology(self):
+        controller, hierarchy = build_attached()
+        assert hierarchy.l2_groups == [(i,) for i in range(16)]
+        assert hierarchy.observer is controller.bank
+
+    def test_attach_rejects_core_mismatch(self):
+        controller = MorphCacheController(TINY)
+        with pytest.raises(ValueError):
+            controller.attach(CacheHierarchy(TINY.with_(cores=8)))
+
+    def test_end_epoch_requires_attachment(self):
+        with pytest.raises(RuntimeError):
+            MorphCacheController(TINY).end_epoch()
+
+    def test_acfv_bits_default_tracks_slice_size(self):
+        controller = MorphCacheController(TINY)
+        assert controller.bank.l2_bits == max(32, TINY.l2_slice.lines // 2)
+        assert controller.bank.l3_bits == max(32, TINY.l3_slice.lines // 2)
+
+    def test_acfv_bits_override(self):
+        controller = MorphCacheController(TINY, MorphConfig(acfv_bits=64))
+        assert controller.bank.l2_bits == 64
+        assert controller.bank.l3_bits == 64
+
+
+class TestReconfiguration:
+    def test_contrasting_workload_triggers_merges(self):
+        controller, hierarchy = build_attached()
+        benchmarks = ["cactusADM" if i % 2 == 0 else "libquantum"
+                      for i in range(16)]
+        run_epochs(controller, hierarchy, benchmarks, epochs=4)
+        assert controller.reconfigurations > 0
+        hierarchy.check_inclusion()
+
+    def test_events_record_epoch_and_level(self):
+        controller, hierarchy = build_attached()
+        benchmarks = ["gromacs" if i % 2 == 0 else "libquantum"
+                      for i in range(16)]
+        run_epochs(controller, hierarchy, benchmarks, epochs=4)
+        for event in controller.events:
+            assert event.kind in ("merge", "split")
+            assert event.level in ("l2", "l3")
+            assert event.epoch >= 0
+
+    def test_acfvs_reset_each_epoch(self):
+        controller, hierarchy = build_attached()
+        run_epochs(controller, hierarchy, ["gcc"] * 16, epochs=1)
+        assert all(controller.bank.acfv("l2", c).ones == 0 for c in range(16))
+
+    def test_topology_synchronised_with_hierarchy(self):
+        controller, hierarchy = build_attached()
+        benchmarks = ["cactusADM" if i % 2 == 0 else "libquantum"
+                      for i in range(16)]
+        run_epochs(controller, hierarchy, benchmarks, epochs=4)
+        assert hierarchy.l2_groups == controller.topology.groups("l2")
+        assert hierarchy.l3_groups == controller.topology.groups("l3")
+
+    def test_asymmetric_fraction_in_unit_range(self):
+        controller, hierarchy = build_attached()
+        benchmarks = ["cactusADM" if i % 2 == 0 else "libquantum"
+                      for i in range(16)]
+        run_epochs(controller, hierarchy, benchmarks, epochs=4)
+        assert 0.0 <= controller.asymmetric_fraction <= 1.0
+
+    def test_current_label_private_initially(self):
+        controller, _ = build_attached()
+        assert controller.current_label() == "(1:1:16)"
+
+
+class TestQosIntegration:
+    def test_qos_controller_throttles_on_feedback(self):
+        controller, hierarchy = build_attached(MorphConfig(qos=True))
+        benchmarks = ["cactusADM" if i % 2 == 0 else "libquantum"
+                      for i in range(16)]
+        run_epochs(controller, hierarchy, benchmarks, epochs=5)
+        throttler = controller.throttler
+        assert throttler.enabled
+        # Some feedback must have been observed once merges happened.
+        if any(e.kind == "merge" for e in controller.events[:-1]):
+            assert throttler.throttle_ups + throttler.throttle_downs >= 1
+
+    def test_qos_disabled_by_default(self):
+        controller, _ = build_attached()
+        assert not controller.throttler.enabled

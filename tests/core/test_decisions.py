@@ -1,0 +1,235 @@
+"""Tests for the merge/split decision engine (Sections 2.2-2.4)."""
+
+import pytest
+
+from repro.config import MorphConfig, MsatConfig
+from repro.core.acfv import AcfvBank
+from repro.core.decisions import DecisionEngine
+from repro.core.topology import TopologyState
+
+L2_LINES = 64
+L3_LINES = 256
+MSAT = MsatConfig()  # (60, 30)
+
+
+def make_engine(shared=False, **morph_kwargs):
+    morph = MorphConfig(**morph_kwargs)
+    return DecisionEngine(morph, L2_LINES, L3_LINES, shared_address_space=shared)
+
+
+def make_bank():
+    return AcfvBank(n_cores=16, l2_bits=L2_LINES // 2, l3_bits=L3_LINES // 2)
+
+
+def feed_demand(bank, level, core, lines):
+    """Make core's footprint at ``level`` read roughly ``lines`` lines."""
+    for tag in range(lines):
+        bank.on_hit(level, core, core, (core << 32) + tag * 7919)
+
+
+def util(bank, level, cores):
+    lines = L2_LINES if level == "l2" else L3_LINES
+    return bank.group_utilization(level, cores, lines)
+
+
+class TestMergeReason:
+    def test_high_low_pair_merges_for_capacity(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 300)   # starved: > capacity
+        feed_demand(bank, "l3", 1, 20)    # donor: well under
+        assert util(bank, "l3", (0,)) > MSAT.high
+        assert util(bank, "l3", (1,)) < MSAT.low
+        assert engine.merge_reason("l3", (0,), (1,), bank, MSAT) == "capacity"
+
+    def test_symmetric_in_arguments(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 20)
+        assert engine.merge_reason("l3", (1,), (0,), bank, MSAT) == "capacity"
+
+    def test_high_moderate_pair_does_not_merge(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 150)   # moderate, would get hurt
+        assert engine.merge_reason("l3", (0,), (1,), bank, MSAT) is None
+
+    def test_low_low_pair_does_not_merge(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 20)
+        feed_demand(bank, "l3", 1, 20)
+        assert engine.merge_reason("l3", (0,), (1,), bank, MSAT) is None
+
+    def test_high_high_without_sharing_does_not_merge(self):
+        engine, bank = make_engine(shared=False), make_bank()
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 300)
+        assert engine.merge_reason("l3", (0,), (1,), bank, MSAT) is None
+
+    def test_high_high_with_shared_data_merges(self):
+        engine, bank = make_engine(shared=True), make_bank()
+        # Both cores reuse the SAME tags -> full ACFV overlap.
+        for tag in range(300):
+            bank.on_hit("l3", 0, 0, tag * 7919)
+            bank.on_hit("l3", 1, 1, tag * 7919)
+        assert engine.merge_reason("l3", (0,), (1,), bank, MSAT) == "sharing"
+
+    def test_high_high_disjoint_data_does_not_merge_even_shared(self):
+        engine, bank = make_engine(shared=True), make_bank()
+        feed_demand(bank, "l3", 0, 300)
+        for tag in range(300):
+            bank.on_hit("l3", 1, 1, (99 << 40) + tag * 104729)
+        reason = engine.merge_reason("l3", (0,), (1,), bank, MSAT)
+        assert reason != "capacity"
+
+    def test_polluting_donor_is_vetoed(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 20)
+        engine.set_miss_feedback({1: 1000, 0: 100, 2: 100, 3: 100})
+        assert engine.merge_reason("l3", (0,), (1,), bank, MSAT) is None
+
+    def test_miss_feedback_cleared(self):
+        engine = make_engine()
+        engine.set_miss_feedback({0: 1000, 1: 10})
+        assert 0 in engine.polluters
+        engine.set_miss_feedback(None)
+        assert not engine.polluters
+
+
+class TestShouldSplit:
+    def test_split_when_justification_gone(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 20)
+        feed_demand(bank, "l3", 1, 20)
+        assert engine.should_split("l3", (0, 1), bank, MSAT)
+
+    def test_no_split_while_condition_holds(self):
+        engine, bank = make_engine(), make_bank()
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 20)
+        assert not engine.should_split("l3", (0, 1), bank, MSAT)
+
+    def test_singleton_never_splits(self):
+        engine, bank = make_engine(), make_bank()
+        assert not engine.should_split("l3", (0,), bank, MSAT)
+
+
+class TestDecide:
+    def test_capacity_merge_applied(self):
+        engine, bank = make_engine(), make_bank()
+        topo = TopologyState(16)
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 20)
+        actions = engine.decide(topo, bank, MSAT)
+        assert any(kind == "merge" and proposal.level == "l3"
+                   for kind, proposal in actions)
+        assert (0, 1) in topo.groups("l3")
+
+    def test_l2_merge_pulls_l3_along(self):
+        """Inclusion coupling: an L2 merge forces the covering L3 merge."""
+        engine, bank = make_engine(), make_bank()
+        topo = TopologyState(16)
+        feed_demand(bank, "l2", 2, 150)
+        feed_demand(bank, "l2", 3, 8)
+        actions = engine.decide(topo, bank, MSAT)
+        merged_levels = {p.level for kind, p in actions if kind == "merge"}
+        if "l2" in merged_levels:
+            assert (2, 3) in topo.groups("l2")
+            assert (2, 3) in topo.groups("l3")
+            topo.check_inclusion()
+
+    def test_split_applied_after_hysteresis(self):
+        engine, bank = make_engine(), make_bank()
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        # Both idle -> split condition true, but age gate delays it.
+        for _ in range(engine.min_group_age + 1):
+            actions = engine.decide(topo, bank, MSAT)
+        assert (0,) in topo.groups("l3")
+        assert (1,) in topo.groups("l3")
+
+    def test_l3_split_blocked_by_merged_l2(self):
+        engine, bank = make_engine(shared=True), make_bank()
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        topo.merge("l2", (0,), (1,))
+        # L2 pair shares heavily -> its merge condition still holds, so the
+        # L3 group cannot split (inclusion) even though its own reason is
+        # gone.
+        for tag in range(200):
+            bank.on_hit("l2", 0, 0, tag * 7919)
+            bank.on_hit("l2", 1, 1, tag * 7919)
+        for _ in range(engine.min_group_age + 2):
+            engine.decide(topo, bank, MSAT)
+        assert (0, 1) in topo.groups("l3")
+        topo.check_inclusion()
+
+    def test_remerge_cooldown(self):
+        engine, bank = make_engine(), make_bank()
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        # The manually merged group has no birth record, so the idle pair
+        # splits on the first decision pass.
+        engine.decide(topo, bank, MSAT)
+        assert (0,) in topo.groups("l3")
+        # Immediately presenting merge conditions must not re-merge.
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 20)
+        engine.decide(topo, bank, MSAT)
+        assert (0,) in topo.groups("l3")  # still cooling down
+        engine.decide(topo, bank, MSAT)
+        assert (0, 1) in topo.groups("l3")  # cooldown expired
+
+
+class TestConflictPolicies:
+    def build_fig6_scenario(self):
+        """Two dual-shared pairs: first both-high, second both-low."""
+        bank = make_bank()
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        topo.merge("l3", (2,), (3,))
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 300)
+        feed_demand(bank, "l3", 2, 10)
+        feed_demand(bank, "l3", 3, 10)
+        return bank, topo
+
+    def test_merge_aggressive_merges_the_pairs(self):
+        engine = make_engine(conflict_policy="merge")
+        engine.min_group_age = 0
+        bank, topo = self.build_fig6_scenario()
+        engine.decide(topo, bank, MSAT)
+        assert (0, 1, 2, 3) in topo.groups("l3")
+
+    def test_split_aggressive_splits_first(self):
+        engine = make_engine(conflict_policy="split")
+        engine.min_group_age = 0
+        bank, topo = self.build_fig6_scenario()
+        engine.decide(topo, bank, MSAT)
+        groups = topo.groups("l3")
+        assert (0, 1, 2, 3) not in groups
+        assert (0,) in groups and (1,) in groups
+
+
+class TestExtensions:
+    def test_arbitrary_sizes_allows_unequal_merge(self):
+        engine = make_engine(allow_arbitrary_sizes=True)
+        engine.min_group_age = 0
+        bank = make_bank()
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 1, 300)
+        feed_demand(bank, "l3", 2, 10)
+        engine.decide(topo, bank, MSAT)
+        assert (0, 1, 2) in topo.groups("l3")
+
+    def test_non_neighbors_allows_distant_merge(self):
+        engine = make_engine(allow_non_neighbors=True)
+        bank = make_bank()
+        topo = TopologyState(16)
+        feed_demand(bank, "l3", 0, 300)
+        feed_demand(bank, "l3", 9, 10)
+        engine.decide(topo, bank, MSAT)
+        merged = [g for g in topo.groups("l3") if len(g) > 1]
+        assert any(0 in g for g in merged)

@@ -1,0 +1,71 @@
+"""Tests for the QoS-aware MSAT throttler (Section 5.3)."""
+
+from repro.config import MsatConfig
+from repro.core.qos import MsatThrottler
+
+
+def make_throttler(enabled=True):
+    return MsatThrottler(MsatConfig(), enabled=enabled)
+
+
+class TestThrottling:
+    def test_starts_at_base(self):
+        throttler = make_throttler()
+        assert throttler.msat.high == 60.0
+        assert throttler.msat.low == 30.0
+
+    def test_throttle_up_widens_bounds(self):
+        throttler = make_throttler()
+        throttler.throttle_up()
+        assert throttler.msat.high == 65.0
+        assert throttler.msat.low == 25.0
+
+    def test_throttle_up_saturates(self):
+        throttler = make_throttler()
+        for _ in range(50):
+            throttler.throttle_up()
+        assert throttler.msat.high == throttler.base.high_max
+        assert throttler.msat.low == throttler.base.low_min
+
+    def test_throttle_down_never_crosses_base(self):
+        throttler = make_throttler()
+        for _ in range(5):
+            throttler.throttle_down()
+        assert throttler.msat.high == 60.0
+        assert throttler.msat.low == 30.0
+
+    def test_round_trip(self):
+        throttler = make_throttler()
+        throttler.throttle_up()
+        throttler.throttle_down()
+        assert throttler.msat.high == 60.0
+        assert throttler.msat.low == 30.0
+
+
+class TestMergeOutcomeFeedback:
+    def test_increased_misses_throttle_up(self):
+        throttler = make_throttler()
+        throttler.observe_merge_outcome([0, 1], {0: 100, 1: 100},
+                                        {0: 150, 1: 90})
+        assert throttler.throttle_ups == 1
+        assert throttler.msat.high > 60.0
+
+    def test_flat_misses_throttle_down(self):
+        throttler = make_throttler()
+        throttler.throttle_up()
+        throttler.observe_merge_outcome([0, 1], {0: 100, 1: 100},
+                                        {0: 100, 1: 80})
+        assert throttler.throttle_downs == 1
+        assert throttler.msat.high == 60.0
+
+    def test_disabled_throttler_ignores_feedback(self):
+        throttler = make_throttler(enabled=False)
+        throttler.observe_merge_outcome([0], {0: 1}, {0: 100})
+        assert throttler.msat.high == 60.0
+        assert throttler.throttle_ups == 0
+
+    def test_empty_core_set_is_ignored(self):
+        throttler = make_throttler()
+        throttler.observe_merge_outcome([], {}, {})
+        assert throttler.throttle_ups == 0
+        assert throttler.throttle_downs == 0

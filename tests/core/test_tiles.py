@@ -1,0 +1,78 @@
+"""Tests for tile-based scaling (Section 5.5)."""
+
+import pytest
+
+from repro.config import TINY
+from repro.core.tiles import TiledMorphCache
+
+TILE = TINY.with_(cores=8)
+
+
+class TestConstruction:
+    def test_builds_independent_tiles(self):
+        tiled = TiledMorphCache(TILE, n_tiles=4)
+        assert tiled.total_cores == 32
+        assert len(tiled.hierarchies) == 4
+        assert len({id(h) for h in tiled.hierarchies}) == 4
+
+    def test_rejects_oversized_tile(self):
+        with pytest.raises(ValueError):
+            TiledMorphCache(TINY.with_(cores=32), n_tiles=2)
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            TiledMorphCache(TILE, n_tiles=0)
+
+    def test_block_placement(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        assert tiled.placement(0) == (0, 0)
+        assert tiled.placement(7) == (0, 7)
+        assert tiled.placement(8) == (1, 0)
+        assert tiled.placement(15) == (1, 7)
+
+    def test_custom_scheduler(self):
+        # Round-robin across tiles.
+        tiled = TiledMorphCache(TILE, n_tiles=2, scheduler=lambda c: c % 2)
+        assert tiled.placement(0)[0] == 0
+        assert tiled.placement(1)[0] == 1
+        assert tiled.placement(2) == (0, 1)
+
+    def test_overfilling_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            TiledMorphCache(TILE, n_tiles=2, scheduler=lambda c: 0)
+
+    def test_out_of_range_core(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        with pytest.raises(ValueError):
+            tiled.placement(99)
+
+
+class TestIsolation:
+    def test_tiles_do_not_share_cache_state(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        tiled.access(0, 0x500, False)          # tile 0
+        latency = tiled.access(8, 0x500, False)  # tile 1: must miss
+        assert latency == TILE.latency.memory
+
+    def test_within_tile_caching_works(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        tiled.access(8, 0x600, False)
+        assert tiled.access(8, 0x600, False) == TILE.latency.l1_hit
+
+    def test_miss_counts_global_ids(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        tiled.access(12, 0x700, False)
+        counts = tiled.miss_counts()
+        assert counts[12] == 1
+        assert counts[0] == 0
+
+    def test_end_epoch_reports_per_tile_labels(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        label = tiled.end_epoch()
+        assert label.count("|") == 1
+
+    def test_reconfigurations_aggregate(self):
+        tiled = TiledMorphCache(TILE, n_tiles=2)
+        tiled.end_epoch()
+        assert tiled.reconfigurations >= 0
+        tiled.check_inclusion()

@@ -1,0 +1,239 @@
+"""Tests for the buddy topology state (Sections 2.2-2.3, 5.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology import (
+    TopologyState,
+    aligned_power_of_two,
+    parse_config_label,
+)
+
+
+class TestAlignment:
+    def test_aligned_groups(self):
+        assert aligned_power_of_two((0,))
+        assert aligned_power_of_two((2, 3))
+        assert aligned_power_of_two((4, 5, 6, 7))
+
+    def test_unaligned_groups(self):
+        assert not aligned_power_of_two((1, 2))
+        assert not aligned_power_of_two((0, 1, 2))
+        assert not aligned_power_of_two((0, 2))
+
+
+class TestBuddyOperations:
+    def test_initial_state_is_private(self):
+        topo = TopologyState(16)
+        assert topo.config_label() == "(1:1:16)"
+
+    def test_merge_buddies(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        assert (0, 1) in topo.groups("l3")
+
+    def test_merge_non_buddies_rejected(self):
+        topo = TopologyState(16)
+        with pytest.raises(ValueError):
+            topo.merge("l3", (1,), (2,))  # adjacent but not buddies
+
+    def test_merge_requires_current_groups(self):
+        topo = TopologyState(16)
+        with pytest.raises(ValueError):
+            topo.merge("l3", (0, 1), (2, 3))
+
+    def test_hierarchical_merge_to_all_shared(self):
+        topo = TopologyState(4)
+        topo.merge("l3", (0,), (1,))
+        topo.merge("l3", (2,), (3,))
+        topo.merge("l3", (0, 1), (2, 3))
+        topo.merge("l2", (0,), (1,))
+        topo.merge("l2", (2,), (3,))
+        topo.merge("l2", (0, 1), (2, 3))
+        assert topo.config_label() == "(4:1:1)"
+
+    def test_split_halves(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        left, right = topo.split("l3", (0, 1))
+        assert left == (0,)
+        assert right == (1,)
+
+    def test_split_single_rejected(self):
+        topo = TopologyState(16)
+        with pytest.raises(ValueError):
+            topo.split("l3", (0,))
+
+    def test_l2_merge_requires_l3_coverage(self):
+        """Merging L2 under split L3 slices must be rejected (inclusion)."""
+        topo = TopologyState(16)
+        with pytest.raises(ValueError):
+            topo.merge("l2", (0,), (1,))
+
+    def test_l2_merge_allowed_after_l3_merge(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        merged = topo.merge("l2", (0,), (1,))
+        assert merged == (0, 1)
+
+    def test_l3_split_under_merged_l2_rejected(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        topo.merge("l2", (0,), (1,))
+        with pytest.raises(ValueError):
+            topo.split("l3", (0, 1))
+
+    def test_l3_split_after_l2_split(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        topo.merge("l2", (0,), (1,))
+        topo.split("l2", (0, 1))
+        topo.split("l3", (0, 1))
+        assert topo.config_label() == "(1:1:16)"
+
+
+class TestSymmetry:
+    def test_symmetric_labels(self):
+        topo = TopologyState(16)
+        for base in range(0, 16, 2):
+            topo.merge("l3", (base,), (base + 1,))
+        assert topo.config_label() == "(1:2:8)"
+
+    def test_asymmetric_returns_none(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        assert topo.config_label() is None
+        assert not topo.is_symmetric()
+
+    def test_group_of(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (2,), (3,))
+        assert topo.group_of("l3", 2) == (2, 3)
+        assert topo.group_of("l3", 0) == (0,)
+
+
+class TestExtensions:
+    def test_arbitrary_size_merge(self):
+        """Section 5.5: adjacent groups of unequal size."""
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        merged = topo.merge("l3", (0, 1), (2,), allow_arbitrary_sizes=True)
+        assert merged == (0, 1, 2)
+
+    def test_non_neighbor_merge(self):
+        topo = TopologyState(16)
+        merged = topo.merge("l3", (0,), (7,), allow_non_neighbors=True)
+        assert merged == (0, 7)
+
+    def test_max_span_reflects_distance(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (7,), allow_non_neighbors=True)
+        assert topo.max_span("l3") == 7
+
+    def test_split_arbitrary_group(self):
+        topo = TopologyState(16)
+        topo.merge("l3", (0,), (1,))
+        topo.merge("l3", (0, 1), (2,), allow_arbitrary_sizes=True)
+        left, right = topo.split("l3", (0, 1, 2))
+        assert left == (0,)
+        assert right == (1, 2)
+
+    def test_set_groups_direct(self):
+        topo = TopologyState(4)
+        topo.set_groups("l3", [(0, 1), (2, 3)])
+        assert topo.groups("l3") == [(0, 1), (2, 3)]
+
+    def test_set_groups_rejects_inclusion_violation(self):
+        topo = TopologyState(4)
+        topo.set_groups("l3", [(0, 1), (2, 3)])
+        topo.set_groups("l2", [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            topo.set_groups("l3", [(0,), (1,), (2, 3)])
+
+
+class TestParseConfigLabel:
+    def test_all_shared(self):
+        l2, l3 = parse_config_label("(16:1:1)")
+        assert l2 == [tuple(range(16))]
+        assert l3 == [tuple(range(16))]
+
+    def test_all_private(self):
+        l2, l3 = parse_config_label("(1:1:16)")
+        assert len(l2) == 16
+        assert len(l3) == 16
+
+    def test_4_4_1(self):
+        l2, l3 = parse_config_label("(4:4:1)")
+        assert len(l2) == 4
+        assert all(len(g) == 4 for g in l2)
+        assert l3 == [tuple(range(16))]
+
+    def test_1_16_1(self):
+        """Private L2, one shared L3 (the Nehalem shape)."""
+        l2, l3 = parse_config_label("(1:16:1)")
+        assert len(l2) == 16
+        assert l3 == [tuple(range(16))]
+
+    def test_8_2_1(self):
+        l2, l3 = parse_config_label("(8:2:1)")
+        assert [len(g) for g in l2] == [8, 8]
+
+    def test_inclusion_always_holds(self):
+        for label in ["(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)",
+                      "(1:16:1)", "(2:2:4)", "(4:2:2)"]:
+            l2_groups, l3_groups = parse_config_label(label)
+            l3_of = {}
+            for group in l3_groups:
+                for slice_id in group:
+                    l3_of[slice_id] = group
+            for group in l2_groups:
+                assert len({l3_of[s] for s in group}) == 1
+
+    def test_rejects_wrong_product(self):
+        with pytest.raises(ValueError):
+            parse_config_label("(4:4:4)")
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_config_label("(4:4)")
+
+
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_property_random_buddy_ops_preserve_partition(ops):
+    """Random merges/splits always leave a valid partition + inclusion."""
+    topo = TopologyState(8)
+    for op in ops:
+        l3_groups = topo.groups("l3")
+        if op == 0:  # try an L3 merge
+            for a in l3_groups:
+                for b in l3_groups:
+                    if a != b and topo.are_buddies(a, b):
+                        topo.merge("l3", a, b)
+                        break
+                else:
+                    continue
+                break
+        elif op == 1:  # try an L2 merge (may fail on inclusion)
+            for a in topo.groups("l2"):
+                for b in topo.groups("l2"):
+                    if a != b and topo.are_buddies(a, b):
+                        try:
+                            topo.merge("l2", a, b)
+                        except ValueError:
+                            pass
+                        break
+                else:
+                    continue
+                break
+        else:  # try a split
+            for group in topo.groups("l2"):
+                if len(group) >= 2:
+                    topo.split("l2", group)
+                    break
+    # Invariants.
+    for level in ("l2", "l3"):
+        slices = sorted(s for g in topo.groups(level) for s in g)
+        assert slices == list(range(8))
+    topo.check_inclusion()

@@ -1,0 +1,62 @@
+"""Tests for the analytic core timing model."""
+
+import pytest
+
+from repro.cpu.core_model import CoreTimingModel
+
+
+class TestAccounting:
+    def test_simple_hit(self):
+        core = CoreTimingModel(issue_width=4)
+        core.account(gap=4, latency=3)
+        assert core.instructions == 5
+        assert core.cycles == pytest.approx(4.0)
+        assert core.ipc == pytest.approx(1.25)
+
+    def test_zero_gap(self):
+        core = CoreTimingModel(issue_width=4)
+        core.account(gap=0, latency=10)
+        assert core.instructions == 1
+        assert core.cycles == pytest.approx(10.0)
+
+    def test_memory_overlap_hides_latency(self):
+        """A 300-cycle miss charges only (1 - overlap) of the off-chip part."""
+        core = CoreTimingModel(issue_width=4, memory_latency=300,
+                               memory_overlap=0.65)
+        core.account(gap=0, latency=300)
+        assert core.cycles == pytest.approx(300 - 0.65 * 300)
+
+    def test_overlap_applies_only_to_misses(self):
+        core = CoreTimingModel(issue_width=4, memory_latency=300,
+                               memory_overlap=0.65)
+        core.account(gap=0, latency=45)  # merged L3 hit: fully exposed
+        assert core.cycles == pytest.approx(45.0)
+
+    def test_latency_above_memory_keeps_surplus(self):
+        core = CoreTimingModel(issue_width=4, memory_latency=300,
+                               memory_overlap=0.5)
+        core.account(gap=0, latency=305)  # miss + coherence
+        assert core.cycles == pytest.approx(305 - 150)
+
+    def test_ipc_zero_before_any_accounting(self):
+        assert CoreTimingModel(4).ipc == 0.0
+
+    def test_reset(self):
+        core = CoreTimingModel(4)
+        core.account(10, 10)
+        core.reset()
+        assert core.cycles == 0.0
+        assert core.instructions == 0
+
+    def test_faster_cache_means_higher_ipc(self):
+        fast, slow = CoreTimingModel(4), CoreTimingModel(4)
+        for _ in range(100):
+            fast.account(3, 10)
+            slow.account(3, 30)
+        assert fast.ipc > slow.ipc
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(0)
+        with pytest.raises(ValueError):
+            CoreTimingModel(4, memory_overlap=1.0)

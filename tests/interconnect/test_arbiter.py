@@ -1,0 +1,108 @@
+"""Tests for the hierarchical segmented-bus arbitration (Figures 9-11)."""
+
+import pytest
+
+from repro.interconnect.arbiter import Arbiter, ArbiterTree
+
+
+def configure(tree, groups):
+    tree.configure_groups(groups)
+    return tree
+
+
+class TestArbiter:
+    def test_single_request_granted(self):
+        arbiter = Arbiter()
+        arbiter.latch(True, False)
+        assert arbiter.arbitrate() == (True, False)
+
+    def test_no_request_no_grant(self):
+        arbiter = Arbiter()
+        arbiter.latch(False, False)
+        assert arbiter.arbitrate() == (False, False)
+
+    def test_round_robin_alternates(self):
+        arbiter = Arbiter()
+        winners = []
+        for _ in range(4):
+            arbiter.latch(True, True)
+            g0, g1 = arbiter.arbitrate()
+            winners.append(0 if g0 else 1)
+        assert winners == [0, 1, 0, 1]
+
+    def test_req_out_requires_forward(self):
+        arbiter = Arbiter()
+        arbiter.latch(True, False)
+        assert not arbiter.req_out
+        arbiter.forward = True
+        assert arbiter.req_out
+
+
+class TestArbiterTree:
+    def test_structure_matches_figure9(self):
+        tree = ArbiterTree(8)
+        assert tree.levels == 3
+        assert tree.n_arbiters == 7
+        assert [len(level) for level in tree.arbiters] == [4, 2, 1]
+
+    def test_share_levels_from_groups(self):
+        tree = configure(ArbiterTree(8), [(0, 1, 2, 3), (4, 5), (6,), (7,)])
+        assert tree.share_level[:4] == [2, 2, 2, 2]
+        assert tree.share_level[4:6] == [1, 1]
+        assert tree.share_level[6:] == [0, 0]
+
+    def test_private_slices_never_acquire(self):
+        tree = configure(ArbiterTree(8), [(i,) for i in range(8)])
+        acq = tree.resolve([True] * 8)
+        assert acq == [False] * 8
+
+    def test_one_grant_per_domain(self):
+        tree = configure(ArbiterTree(8), [(0, 1, 2, 3), (4, 5), (6, 7)])
+        acq = tree.resolve([True, True, True, True, True, True, True, True])
+        assert sum(acq[:4]) == 1
+        assert sum(acq[4:6]) == 1
+        assert sum(acq[6:8]) == 1
+
+    def test_disjoint_domains_grant_in_parallel(self):
+        tree = configure(ArbiterTree(8), [(0, 1), (2, 3), (4, 5), (6, 7)])
+        acq = tree.resolve([True, False, True, False, True, False, True, False])
+        assert acq == [True, False, True, False, True, False, True, False]
+
+    def test_rejects_unaligned_group(self):
+        tree = ArbiterTree(8)
+        with pytest.raises(ValueError):
+            tree.configure_groups([(1, 2)] + [(i,) for i in (0, 3, 4, 5, 6, 7)])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ArbiterTree(6)
+
+
+class TestTransactions:
+    def test_grant_two_cycles_transfer_one(self):
+        """The paper's protocol: request at t, grant at t+2, data at t+3."""
+        tree = configure(ArbiterTree(8), [(0, 1), (2, 3), (4, 5), (6, 7)])
+        done = tree.simulate_transactions({0: 0})
+        assert done[0] == (2, 3)
+
+    def test_same_domain_serialises(self):
+        tree = configure(ArbiterTree(8), [(0, 1), (2, 3), (4, 5), (6, 7)])
+        done = tree.simulate_transactions({0: 0, 1: 0})
+        finish_times = sorted(t for _, t in done.values())
+        assert finish_times[0] < finish_times[1]
+
+    def test_different_domains_finish_together(self):
+        tree = configure(ArbiterTree(8), [(0, 1), (2, 3), (4, 5), (6, 7)])
+        done = tree.simulate_transactions({0: 0, 2: 0, 4: 0, 6: 0})
+        assert len({t for _, t in done.values()}) == 1
+
+    def test_fairness_under_contention(self):
+        """Round-robin arbitration lets every requester through."""
+        tree = configure(ArbiterTree(8), [(0, 1, 2, 3), (4, 5, 6, 7)])
+        done = tree.simulate_transactions({i: 0 for i in range(8)})
+        assert len(done) == 8
+
+    def test_unservable_request_raises(self):
+        tree = configure(ArbiterTree(8), [(i,) for i in range(8)])
+        with pytest.raises(RuntimeError):
+            tree.simulate_transactions({0: 0}, max_cycles=10)

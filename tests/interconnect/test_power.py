@@ -1,0 +1,78 @@
+"""Tests for the segmented-bus energy model (the paper's future work)."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import TINY
+from repro.interconnect.power import (
+    SegmentedBusPowerModel,
+    traffic_from_hierarchy_stats,
+)
+
+
+class TestTransactionEnergy:
+    def test_smaller_domain_costs_less(self):
+        model = SegmentedBusPowerModel()
+        assert model.transaction_energy((0, 1)) < model.transaction_energy(
+            (0, 1, 2, 3)
+        )
+
+    def test_non_neighbour_group_pays_for_its_span(self):
+        model = SegmentedBusPowerModel()
+        assert model.transaction_energy((0, 7)) > model.transaction_energy(
+            (0, 1)
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SegmentedBusPowerModel(n_slices=0)
+        with pytest.raises(ValueError):
+            SegmentedBusPowerModel(segment_length_mm=-1.0)
+
+
+class TestReports:
+    def test_segmented_beats_monolithic_for_pair_traffic(self):
+        model = SegmentedBusPowerModel(16)
+        groups = [(0, 1), (2, 3)] + [(i,) for i in range(4, 16)]
+        traffic = {(0, 1): 100, (2, 3): 50}
+        savings = model.savings_vs_monolithic(groups, traffic)
+        assert savings > 0.5
+
+    def test_all_shared_group_saves_nothing(self):
+        model = SegmentedBusPowerModel(16)
+        groups = [tuple(range(16))]
+        traffic = {tuple(range(16)): 10}
+        assert model.savings_vs_monolithic(groups, traffic) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_empty_traffic(self):
+        model = SegmentedBusPowerModel(16)
+        report = model.report([(0, 1)], {})
+        assert report.total_pj == 0.0
+        assert model.savings_vs_monolithic([(0, 1)], {}) == 0.0
+
+    def test_report_averages_per_transaction(self):
+        model = SegmentedBusPowerModel(16)
+        groups = [(0, 1)] + [(i,) for i in range(2, 16)]
+        single = model.report(groups, {(0, 1): 1})
+        many = model.report(groups, {(0, 1): 100})
+        assert single.total_pj == pytest.approx(many.total_pj)
+
+    def test_monolithic_reference_levels(self):
+        model = SegmentedBusPowerModel(16)
+        report = model.monolithic_report(10)
+        assert report.mean_arbiter_levels == 4.0
+
+
+class TestTrafficExtraction:
+    def test_counts_remote_hits_of_merged_groups_only(self):
+        hierarchy = CacheHierarchy(TINY)
+        topo = [(0, 1)] + [(i,) for i in range(2, 16)]
+        hierarchy.set_topology(topo, topo)
+        hierarchy.access(1, 0x100)
+        hierarchy.l1s[0].flush()
+        hierarchy.access(0, 0x100)  # remote hit in the merged pair
+        traffic = traffic_from_hierarchy_stats(hierarchy)
+        assert traffic.get((0, 1), 0) >= 1
+        assert all(len(group) >= 2 for group in traffic)

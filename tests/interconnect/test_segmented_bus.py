@@ -1,0 +1,81 @@
+"""Tests for the segmented bus (Figures 7 and 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.segmented_bus import SegmentedBus
+
+
+class TestConfiguration:
+    def test_figure7_formation(self):
+        """The paper's (4, 2, 2) formation disables S3 and S5."""
+        bus = SegmentedBus(8)
+        bus.configure_groups([(0, 1, 2, 3), (4, 5), (6, 7)])
+        assert bus.formation() == (4, 2, 2)
+        states = bus.switch_states()
+        assert states[3] is False
+        assert states[5] is False
+        assert all(states[i] for i in (0, 1, 2, 4, 6))
+
+    def test_all_private(self):
+        bus = SegmentedBus(4)
+        bus.configure_groups([(i,) for i in range(4)])
+        assert bus.formation() == (1, 1, 1, 1)
+
+    def test_all_shared(self):
+        bus = SegmentedBus(4)
+        bus.configure_groups([(0, 1, 2, 3)])
+        assert bus.formation() == (4,)
+
+    def test_rejects_non_partition(self):
+        bus = SegmentedBus(4)
+        with pytest.raises(ValueError):
+            bus.configure_groups([(0, 1)])
+
+    def test_non_contiguous_group_spans_superset(self):
+        """Section 5.5: group {0, 2} physically joins segments 0..2."""
+        bus = SegmentedBus(4)
+        bus.configure_groups([(0, 2), (1,), (3,)])
+        assert bus.domain_of(0) == (0, 1, 2)
+
+    def test_manual_switch(self):
+        bus = SegmentedBus(3)
+        bus.set_switch(0, True)
+        assert bus.domains() == [(0, 1), (2,)]
+
+
+class TestParallelism:
+    def test_isolated_domains_grant_in_parallel(self):
+        bus = SegmentedBus(8)
+        bus.configure_groups([(0, 1, 2, 3), (4, 5), (6, 7)])
+        granted = bus.grant_parallel([0, 2, 4, 6])
+        assert granted == [0, 4, 6]
+
+    def test_conflict_within_domain(self):
+        bus = SegmentedBus(4)
+        bus.configure_groups([(0, 1, 2, 3)])
+        assert bus.conflict(0, 3)
+        assert bus.grant_parallel([0, 1, 2, 3]) == [0]
+
+    def test_no_conflict_across_domains(self):
+        bus = SegmentedBus(4)
+        bus.configure_groups([(0, 1), (2, 3)])
+        assert not bus.conflict(0, 2)
+
+    def test_domain_of_out_of_range(self):
+        bus = SegmentedBus(2)
+        bus.configure_groups([(0,), (1,)])
+        with pytest.raises(ValueError):
+            bus.domain_of(5)
+
+
+@given(st.integers(2, 6))
+@settings(max_examples=10, deadline=None)
+def test_property_domains_partition_segments(k):
+    """Domains always partition the segments for aligned group sizes."""
+    n = 1 << k
+    bus = SegmentedBus(n)
+    bus.configure_groups([tuple(range(i, i + 2)) for i in range(0, n, 2)])
+    flattened = [s for domain in bus.domains() for s in domain]
+    assert flattened == list(range(n))

@@ -1,0 +1,116 @@
+"""Tests reproducing Tables 1 and 2 from the interconnect timing model."""
+
+import pytest
+
+from repro.interconnect.floorplan import ArbiterTreeLayout, Floorplan
+from repro.interconnect.timing import (
+    AREA_PER_ARBITER_UM2,
+    WIRE_NS_PER_MM,
+    ArbiterTimingModel,
+)
+
+
+class TestFloorplan:
+    def test_figure12_dimensions(self):
+        plan = Floorplan()
+        assert plan.chip_width_mm == 15.0
+        assert plan.chip_height_mm == 20.0
+
+    def test_arbiter_counts_match_table2(self):
+        plan = Floorplan()
+        assert plan.l2_arbiters_per_side == 7
+        assert plan.l3_arbiters == 15
+
+    def test_levels(self):
+        plan = Floorplan()
+        assert plan.l2_levels == 3
+        assert plan.l3_levels == 4
+
+    def test_wire_lengths_close_to_paper(self):
+        """Geometry-derived paths within 20 % of the paper's wire delays."""
+        plan = Floorplan()
+        assert plan.l2_max_wire_mm() == pytest.approx(0.31 / WIRE_NS_PER_MM,
+                                                      rel=0.20)
+        assert plan.l3_max_wire_mm() == pytest.approx(0.40 / WIRE_NS_PER_MM,
+                                                      rel=0.20)
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            Floorplan(cores=6)
+
+    def test_tree_layout_path_monotonic_in_depth(self):
+        layout = ArbiterTreeLayout([(0.0, float(i)) for i in range(8)])
+        assert layout.levels == 3
+        assert layout.max_request_path() >= layout.request_path_length(3)
+
+    def test_tree_layout_rejects_odd_leaves(self):
+        with pytest.raises(ValueError):
+            ArbiterTreeLayout([(0.0, 0.0)] * 3)
+
+
+class TestTable2:
+    def setup_method(self):
+        self.model = ArbiterTimingModel()
+
+    def test_l2_area(self):
+        assert self.model.l2_bus().total_area_um2 == pytest.approx(160.5, abs=0.1)
+
+    def test_l3_area(self):
+        assert self.model.l3_bus().total_area_um2 == pytest.approx(343.9, abs=0.1)
+
+    def test_area_per_arbiter_consistent(self):
+        assert AREA_PER_ARBITER_UM2 == pytest.approx(343.9 / 15, abs=0.05)
+
+    def test_l2_request_delay(self):
+        l2 = self.model.l2_bus()
+        assert l2.request_wire_ns == pytest.approx(0.31, abs=0.005)
+        assert l2.request_logic_ns == pytest.approx(0.38, abs=0.005)
+
+    def test_l3_request_delay(self):
+        l3 = self.model.l3_bus()
+        assert l3.request_wire_ns == pytest.approx(0.40, abs=0.005)
+        assert l3.request_logic_ns == pytest.approx(0.49, abs=0.005)
+
+    def test_grant_delays(self):
+        for bus in (self.model.l2_bus(), self.model.l3_bus()):
+            assert bus.grant_logic_ns == pytest.approx(0.32, abs=0.005)
+
+    def test_max_frequency_is_1_12_ghz(self):
+        """The paper: the 0.89 ns worst path sets a 1.12 GHz ceiling."""
+        assert self.model.max_frequency_ghz() == pytest.approx(1.12, abs=0.01)
+
+    def test_critical_path_is_l3_request(self):
+        l3 = self.model.l3_bus()
+        assert l3.critical_path_ns == pytest.approx(0.89, abs=0.01)
+
+
+class TestBusOverhead:
+    def test_15_cpu_cycles_unpipelined(self):
+        assert ArbiterTimingModel().transaction_cpu_cycles() == 15
+
+    def test_10_cpu_cycles_pipelined(self):
+        assert ArbiterTimingModel().transaction_cpu_cycles(pipelined=True) == 10
+
+    def test_scales_with_cpu_frequency(self):
+        model = ArbiterTimingModel(cpu_ghz=3.0)
+        assert model.transaction_cpu_cycles() == 9
+
+    def test_geometry_mode_changes_wire_delay_only(self):
+        calibrated = ArbiterTimingModel()
+        geometric = ArbiterTimingModel(use_paper_wire_lengths=False)
+        assert (geometric.l2_bus().request_logic_ns
+                == calibrated.l2_bus().request_logic_ns)
+        assert (geometric.l2_bus().request_wire_ns
+                != calibrated.l2_bus().request_wire_ns)
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            ArbiterTimingModel(bus_ghz=0)
+        with pytest.raises(ValueError):
+            ArbiterTimingModel(bus_ghz=6.0, cpu_ghz=5.0)
+
+    def test_format_table2_mentions_key_figures(self):
+        text = ArbiterTimingModel().format_table2()
+        assert "160.5" in text
+        assert "343.9" in text
+        assert "15 CPU cycles" in text

@@ -1,0 +1,84 @@
+"""Tests for the epoch-driven simulation engine."""
+
+import pytest
+
+from repro.cpu.cmp import CmpSystem
+from repro.sim.engine import EpochResult, RunResult, simulate
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
+
+
+@pytest.fixture
+def fast_config(tiny_config):
+    return tiny_config.with_(accesses_per_core_per_epoch=200)
+
+
+def run(fast_config, scheme_label="(16:1:1)", epochs=2, **kwargs):
+    workload = Workload.from_mix(mix_by_name("MIX 08"))
+    system = CmpSystem(fast_config, static_label=scheme_label)
+    return simulate(system, workload, fast_config, seed=4, epochs=epochs,
+                    **kwargs)
+
+
+class TestSimulate:
+    def test_records_requested_epochs(self, fast_config):
+        result = run(fast_config, epochs=3)
+        assert len(result.epochs) == 3
+        assert [e.epoch for e in result.epochs] == [0, 1, 2]
+
+    def test_all_cores_have_ipcs(self, fast_config):
+        result = run(fast_config)
+        for epoch in result.epochs:
+            assert set(epoch.ipcs) == set(range(16))
+            assert all(ipc > 0 for ipc in epoch.ipcs.values())
+
+    def test_misses_are_epoch_deltas(self, fast_config):
+        result = run(fast_config)
+        for epoch in result.epochs:
+            assert all(m >= 0 for m in epoch.misses.values())
+            # An epoch cannot miss more than it accessed.
+            assert all(m <= 200 for m in epoch.misses.values())
+
+    def test_warmup_epochs_not_recorded(self, fast_config):
+        with_warmup = run(fast_config, epochs=2, warmup_epochs=2)
+        assert len(with_warmup.epochs) == 2
+
+    def test_topology_label_recorded(self, fast_config):
+        result = run(fast_config, scheme_label="(4:4:1)")
+        assert all(e.topology_label == "(4:4:1)" for e in result.epochs)
+
+    def test_deterministic_given_seed(self, fast_config):
+        a = run(fast_config)
+        b = run(fast_config)
+        assert a.throughput_series() == b.throughput_series()
+
+    def test_alone_workload_runs_single_core(self, fast_config):
+        workload = Workload.alone("gcc")
+        system = CmpSystem(fast_config, static_label="(16:1:1)")
+        result = simulate(system, workload, fast_config, seed=4, epochs=1)
+        assert set(result.epochs[0].ipcs) == {0}
+
+
+class TestRunResult:
+    def test_mean_throughput(self):
+        result = RunResult("w", "s", epochs=[
+            EpochResult(0, {0: 1.0, 1: 1.0}, {}, None),
+            EpochResult(1, {0: 2.0, 1: 2.0}, {}, None),
+        ])
+        assert result.mean_throughput == pytest.approx(3.0)
+
+    def test_mean_ipcs(self):
+        result = RunResult("w", "s", epochs=[
+            EpochResult(0, {0: 1.0}, {}, None),
+            EpochResult(1, {0: 3.0}, {}, None),
+        ])
+        assert result.mean_ipcs() == {0: pytest.approx(2.0)}
+
+    def test_empty_run(self):
+        result = RunResult("w", "s")
+        assert result.mean_throughput == 0.0
+        assert result.mean_ipcs() == {}
+
+    def test_throughput_property(self):
+        epoch = EpochResult(0, {0: 0.5, 1: 0.25}, {}, None)
+        assert epoch.throughput == pytest.approx(0.75)

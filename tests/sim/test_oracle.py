@@ -1,0 +1,60 @@
+"""Tests for the oracle footprint estimator (Figure 5 reference)."""
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import TINY
+from repro.core.acfv import AcfvBank
+from repro.sim.oracle import FanoutObserver, OracleFootprint
+
+
+class TestOracleFootprint:
+    def test_counts_unique_reused_lines(self):
+        oracle = OracleFootprint(2)
+        oracle.on_hit("l2", 0, 0, 10)
+        oracle.on_hit("l2", 0, 0, 10)
+        oracle.on_hit("l2", 0, 0, 11)
+        assert oracle.footprint("l2", 0) == 2
+
+    def test_l2_hit_counts_toward_l3(self):
+        oracle = OracleFootprint(2)
+        oracle.on_hit("l2", 0, 1, 10)
+        assert oracle.footprint("l3", 1) == 1
+
+    def test_reset_clears(self):
+        oracle = OracleFootprint(1)
+        oracle.on_hit("l3", 0, 0, 5)
+        oracle.reset()
+        assert oracle.footprint("l3", 0) == 0
+
+    def test_eviction_discards_from_owner(self):
+        oracle = OracleFootprint(2)
+        oracle.on_hit("l3", 0, 0, 5)
+        oracle.on_evict("l3", 0, 5, owner=0)
+        assert oracle.footprint("l3", 0) == 0
+
+    def test_eviction_of_unknown_owner_is_ignored(self):
+        oracle = OracleFootprint(2)
+        oracle.on_hit("l3", 0, 0, 5)
+        oracle.on_evict("l3", 0, 5, owner=-1)
+        assert oracle.footprint("l3", 0) == 1
+
+
+class TestFanout:
+    def test_broadcasts_to_all(self):
+        oracle = OracleFootprint(2)
+        bank = AcfvBank(2, 32, 32)
+        fanout = FanoutObserver(oracle, bank)
+        fanout.on_hit("l2", 0, 0, 7)
+        fanout.on_fill("l2", 0, 0, 8)
+        fanout.on_evict("l2", 0, 7, 0)
+        assert oracle.footprint("l2", 0) == 0  # hit then evicted
+        assert bank.acfv("l2", 0).ones == 1    # bank accumulates
+
+    def test_attached_to_hierarchy(self):
+        oracle = OracleFootprint(16)
+        hierarchy = CacheHierarchy(TINY, observer=oracle)
+        hierarchy.access(0, 0x10)
+        hierarchy.access(0, 0x10)  # L1 hit: oracle sees nothing new
+        hierarchy.l1s[0].flush()
+        hierarchy.access(0, 0x10)  # L2 hit: now in the footprint
+        assert oracle.footprint("l2", 0) == 1
+        assert oracle.footprint("l3", 0) == 1

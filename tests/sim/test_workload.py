@@ -1,0 +1,72 @@
+"""Tests for the workload-to-core bindings."""
+
+import pytest
+
+from repro.config import TINY
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name, parsec_benchmark
+
+
+class TestFromMix:
+    def test_binds_16_models(self):
+        workload = Workload.from_mix(mix_by_name("MIX 03"))
+        assert len(workload.models) == 16
+        assert not workload.shared_address_space
+        assert workload.active_cores == list(range(16))
+
+    def test_thread_order_matches_table5(self):
+        workload = Workload.from_mix(mix_by_name("MIX 01"))
+        assert workload.models[0].name == "calculix"
+        assert workload.models[15].name == "h264ref"
+
+
+class TestFromParsec:
+    def test_by_object_and_name(self):
+        a = Workload.from_parsec(parsec_benchmark("vips"))
+        b = Workload.from_parsec("vips")
+        assert a.name == b.name == "vips"
+        assert a.shared_address_space
+
+    def test_all_threads_same_model(self):
+        workload = Workload.from_parsec("ferret")
+        assert len(set(m.name for m in workload.models)) == 1
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Workload.from_parsec(42)
+
+
+class TestAlone:
+    def test_single_active_core(self):
+        workload = Workload.alone("hmmer")
+        assert workload.active_cores == [0]
+        assert workload.models[0].name == "hmmer"
+        assert all(m is None for m in workload.models[1:])
+
+    def test_requires_an_active_core(self):
+        with pytest.raises(ValueError):
+            Workload(name="empty", models=(None,) * 16)
+
+
+class TestBuildThreads:
+    def test_mix_builds_one_thread_per_core(self):
+        workload = Workload.from_mix(mix_by_name("MIX 02"))
+        threads = workload.build_threads(TINY, seed=1)
+        assert len(threads) == 16
+        assert all(t is not None for t in threads)
+
+    def test_alone_builds_none_for_idle(self):
+        threads = Workload.alone("gcc").build_threads(TINY, seed=1)
+        assert threads[0] is not None
+        assert all(t is None for t in threads[1:])
+
+    def test_parsec_threads_have_varying_scales(self):
+        workload = Workload.from_parsec("ferret")
+        threads = workload.build_threads(TINY, seed=1)
+        scales = {t.spatial_scale for t in threads}
+        assert len(scales) > 1
+
+    def test_too_many_threads_rejected(self):
+        workload = Workload.from_parsec("vips")
+        with pytest.raises(ValueError):
+            workload.build_threads(TINY.with_(cores=8), seed=1)

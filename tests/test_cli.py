@@ -1,0 +1,65 @@
+"""Tests for the CLI and text rendering helpers."""
+
+import pytest
+
+from repro.cli import _workload_from_name, build_parser, main
+from repro.render import render_series, render_topology
+
+
+class TestWorkloadParsing:
+    def test_mix_names(self):
+        assert _workload_from_name("MIX 03").name == "MIX 03"
+        assert _workload_from_name("mix 03").name == "MIX 03"
+
+    def test_parsec_name(self):
+        workload = _workload_from_name("dedup")
+        assert workload.shared_address_space
+
+    def test_alone(self):
+        workload = _workload_from_name("alone:gcc")
+        assert workload.active_cores == [0]
+
+    def test_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            _workload_from_name("quake3")
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3", "--preset", "tiny"]) == 0
+        assert "superscalar" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "160.5" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MIX 12" in out
+        assert "morphcache" in out
+
+    def test_run_alone(self, capsys):
+        code = main(["run", "--workload", "alone:gamess", "--preset", "tiny",
+                     "--epochs", "1", "--scheme", "(16:1:1)"])
+        assert code == 0
+        assert "mean throughput" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRendering:
+    def test_topology_brackets_groups(self):
+        text = render_topology([(0, 1), (2, 3)], [(0, 1, 2, 3)], cores=4)
+        assert text.count("[") == 3
+        assert "L2" in text and "L3" in text
+
+    def test_series_sparkline(self):
+        text = render_series([1.0, 2.0, 3.0], label="x ")
+        assert text.startswith("x ")
+        assert "1.000" in text and "3.000" in text
+
+    def test_empty_series(self):
+        assert render_series([], label="y") == "y"

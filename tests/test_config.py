@@ -1,0 +1,170 @@
+"""Tests for the machine configuration (Table 3) and scale presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DEFAULT,
+    LINE_BYTES,
+    PAPER,
+    PRESETS,
+    SMALL,
+    TINY,
+    CacheGeometry,
+    LatencyModel,
+    MachineConfig,
+    MorphConfig,
+    MsatConfig,
+    format_table3,
+    preset,
+)
+
+
+class TestCacheGeometry:
+    def test_paper_l1_geometry_is_32kb(self):
+        assert PAPER.l1.capacity_bytes == 32 * 1024
+
+    def test_paper_l2_slice_is_256kb(self):
+        assert PAPER.l2_slice.capacity_bytes == 256 * 1024
+
+    def test_paper_l3_slice_is_1mb(self):
+        assert PAPER.l3_slice.capacity_bytes == 1024 * 1024
+
+    def test_lines_product(self):
+        geometry = CacheGeometry(sets=8, ways=4)
+        assert geometry.lines == 32
+        assert geometry.capacity_bytes == 32 * LINE_BYTES
+
+    def test_scaled_divides_sets(self):
+        geometry = CacheGeometry(sets=512, ways=8)
+        assert geometry.scaled(8).sets == 64
+        assert geometry.scaled(8).ways == 8
+
+    def test_scaled_never_below_one_set(self):
+        assert CacheGeometry(sets=4, ways=2).scaled(100).sets == 1
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=3, ways=4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=0, ways=4)
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=4, ways=0)
+
+    def test_rejects_bad_scale_factor(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets=4, ways=2).scaled(0)
+
+
+class TestLatencyModel:
+    def test_paper_defaults(self):
+        lat = LatencyModel()
+        assert lat.l1_hit == 3
+        assert lat.l2_local_hit == 10
+        assert lat.l2_merged_hit == 25
+        assert lat.l3_local_hit == 30
+        assert lat.l3_merged_hit == 45
+        assert lat.memory == 300
+
+    def test_bus_overhead_is_15_cycles(self):
+        assert LatencyModel().bus_overhead == 15
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyModel(l1_hit=-1)
+
+
+class TestMsatConfig:
+    def test_paper_default_is_60_30(self):
+        msat = MsatConfig()
+        assert msat.high == 60.0
+        assert msat.low == 30.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            MsatConfig(high=30, low=60)
+
+    def test_rejects_out_of_range_overlap(self):
+        with pytest.raises(ValueError):
+            MsatConfig(overlap=150)
+
+
+class TestMorphConfig:
+    def test_defaults(self):
+        morph = MorphConfig()
+        assert morph.hash_name == "xor"
+        assert morph.conflict_policy == "merge"
+        assert not morph.qos
+
+    def test_rejects_unknown_hash(self):
+        with pytest.raises(ValueError):
+            MorphConfig(hash_name="md5")
+
+    def test_rejects_unknown_conflict_policy(self):
+        with pytest.raises(ValueError):
+            MorphConfig(conflict_policy="random")
+
+    def test_rejects_non_positive_acfv_bits(self):
+        with pytest.raises(ValueError):
+            MorphConfig(acfv_bits=0)
+
+
+class TestMachineConfig:
+    def test_paper_has_16_cores_4_wide(self):
+        assert PAPER.cores == 16
+        assert PAPER.issue_width == 4
+
+    def test_rejects_non_power_of_two_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cores=12)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ValueError):
+            MachineConfig(replacement="fifo")
+
+    def test_with_returns_modified_copy(self):
+        modified = PAPER.with_(cores=8)
+        assert modified.cores == 8
+        assert PAPER.cores == 16
+
+    def test_config_is_hashable(self):
+        assert hash(PAPER) != hash(TINY)
+
+
+class TestPresets:
+    def test_all_presets_preserve_ways(self):
+        for config in PRESETS.values():
+            assert config.l2_slice.ways == 8
+            assert config.l3_slice.ways == 16
+            assert config.l1.ways == 4
+
+    def test_presets_strictly_shrink(self):
+        assert PAPER.l2_slice.lines > DEFAULT.l2_slice.lines
+        assert DEFAULT.l2_slice.lines > SMALL.l2_slice.lines
+        assert SMALL.l2_slice.lines > TINY.l2_slice.lines
+
+    def test_l3_is_4x_l2_in_every_preset(self):
+        for name, config in PRESETS.items():
+            if name == "tiny":
+                continue  # rounding at the smallest scale
+            assert config.l3_slice.lines == 4 * config.l2_slice.lines
+
+    def test_preset_lookup(self):
+        assert preset("paper") is PAPER
+        assert preset("tiny") is TINY
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            preset("huge")
+
+
+class TestFormatTable3:
+    def test_mentions_all_rows(self):
+        text = format_table3(PAPER)
+        assert "256 KB/slice" in text
+        assert "1024 KB/slice" in text
+        assert "300 cycle" in text
+        assert "4 way issue superscalar" in text

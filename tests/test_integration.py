@@ -1,0 +1,120 @@
+"""End-to-end integration tests: full runs at tiny scale."""
+
+import pytest
+
+from repro import (
+    MorphConfig,
+    Workload,
+    fair_speedup,
+    mix_by_name,
+    run_scheme,
+    throughput,
+    weighted_speedup,
+)
+from repro.baselines import ideal_offline
+from repro.sim.experiment import alone_ipcs, build_system
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def fast(tiny_config):
+    return tiny_config.with_(accesses_per_core_per_epoch=250)
+
+
+class TestMultiprogrammed:
+    def test_all_schemes_complete_a_mix(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 08"))
+        for scheme in ["(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)",
+                       "(1:16:1)", "morphcache", "pipp", "dsr"]:
+            result = run_scheme(scheme, workload, fast, seed=1, epochs=2)
+            assert result.mean_throughput > 0
+            assert len(result.epochs) == 2
+
+    def test_morphcache_reconfigures_during_run(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 11"))
+        system = build_system("morphcache", fast, workload, seed=1)
+        simulate(system, workload, fast, seed=1, epochs=3)
+        assert system.controller.reconfigurations > 0
+        system.hierarchy.check_inclusion()
+
+    def test_runs_are_reproducible(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 05"))
+        a = run_scheme("morphcache", workload, fast, seed=9, epochs=2)
+        b = run_scheme("morphcache", workload, fast, seed=9, epochs=2)
+        assert a.throughput_series() == b.throughput_series()
+
+    def test_speedup_metrics_computable(self, fast):
+        mix = mix_by_name("MIX 08")
+        workload = Workload.from_mix(mix)
+        result = run_scheme("(16:1:1)", workload, fast, seed=1, epochs=2)
+        ipcs = [result.mean_ipcs()[c] for c in range(16)]
+        alone = alone_ipcs(mix.benchmark_names, fast, seed=1, epochs=1)
+        ws = weighted_speedup(ipcs, alone)
+        fs = fair_speedup(ipcs, alone)
+        assert 0 < fs <= ws <= 16
+        assert throughput(ipcs) > 0
+
+
+class TestMultithreaded:
+    def test_parsec_runs_with_sharing(self, fast):
+        workload = Workload.from_parsec("dedup")
+        result = run_scheme("morphcache", workload, fast, seed=1, epochs=2)
+        assert result.mean_throughput > 0
+
+    def test_sharing_merges_possible(self, fast):
+        workload = Workload.from_parsec("canneal")
+        system = build_system("morphcache", fast, workload, seed=1)
+        simulate(system, workload, fast, seed=1, epochs=3)
+        assert system.controller.shared_address_space
+
+
+class TestIdealOffline:
+    def test_composable_from_static_runs(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 08"))
+        runs = [run_scheme(label, workload, fast, seed=1, epochs=2)
+                for label in ["(16:1:1)", "(1:1:16)"]]
+        ideal = ideal_offline(runs)
+        assert ideal.mean_throughput >= max(r.mean_throughput for r in runs)
+
+
+class TestQos:
+    def test_qos_run_completes_and_throttles_are_recorded(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 11"))
+        system = build_system("morphcache", fast, workload, seed=1,
+                              morph=MorphConfig(qos=True))
+        simulate(system, workload, fast, seed=1, epochs=3)
+        throttler = system.controller.throttler
+        assert throttler.msat.high >= 60.0
+
+    def test_split_aggressive_policy_runs(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 11"))
+        result = run_scheme("morphcache", workload, fast, seed=1, epochs=2,
+                            morph=MorphConfig(conflict_policy="split"))
+        assert result.mean_throughput > 0
+
+
+class TestExtensions:
+    def test_section55_policies_run(self, fast):
+        workload = Workload.from_mix(mix_by_name("MIX 11"))
+        for morph in [MorphConfig(allow_arbitrary_sizes=True),
+                      MorphConfig(allow_arbitrary_sizes=True,
+                                  allow_non_neighbors=True)]:
+            result = run_scheme("morphcache", workload, fast, seed=1,
+                                epochs=2, morph=morph)
+            assert result.mean_throughput > 0
+
+    def test_plru_replacement_machine_runs(self, fast):
+        config = fast.with_(replacement="plru")
+        workload = Workload.from_mix(mix_by_name("MIX 08"))
+        result = run_scheme("morphcache", workload, config, seed=1, epochs=2)
+        assert result.mean_throughput > 0
+
+    def test_eight_core_machine_runs(self, fast):
+        config = fast.with_(cores=8)
+        mix = mix_by_name("MIX 08")
+        workload = Workload(
+            name="8-core mix",
+            models=tuple(b.model for b in mix.benchmarks[:8]),
+        )
+        result = run_scheme("morphcache", workload, config, seed=1, epochs=2)
+        assert result.mean_throughput > 0

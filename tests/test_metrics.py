@@ -1,0 +1,71 @@
+"""Tests for throughput, weighted/fair speedup and correlation."""
+
+import pytest
+
+from repro.metrics import fair_speedup, pearson, throughput, weighted_speedup
+
+
+class TestThroughput:
+    def test_sum_of_ipc(self):
+        assert throughput([0.5, 1.0, 0.25]) == pytest.approx(1.75)
+
+    def test_empty_is_zero(self):
+        assert throughput([]) == 0.0
+
+
+class TestWeightedSpeedup:
+    def test_equal_ipcs_gives_core_count(self):
+        assert weighted_speedup([1.0] * 4, [1.0] * 4) == pytest.approx(4.0)
+
+    def test_slowdown_counts_fractionally(self):
+        assert weighted_speedup([0.5], [1.0]) == pytest.approx(0.5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+
+class TestFairSpeedup:
+    def test_harmonic_mean_of_speedups(self):
+        # Speedups 2 and 0.5 -> harmonic mean = 2/(0.5 + 2) = 0.8.
+        assert fair_speedup([2.0, 0.5], [1.0, 1.0]) == pytest.approx(0.8)
+
+    def test_punishes_imbalance_more_than_ws(self):
+        balanced_ws = weighted_speedup([1.0, 1.0], [1.0, 1.0])
+        skewed_ws = weighted_speedup([1.9, 0.1], [1.0, 1.0])
+        balanced_fs = fair_speedup([1.0, 1.0], [1.0, 1.0])
+        skewed_fs = fair_speedup([1.9, 0.1], [1.0, 1.0])
+        assert skewed_ws == pytest.approx(balanced_ws)
+        assert skewed_fs < balanced_fs
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fair_speedup([], [])
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+    def test_uncorrelated_near_zero(self):
+        xs = [1, 2, 3, 4, 5, 6, 7, 8]
+        ys = [5, 1, 8, 2, 7, 3, 6, 4]
+        assert abs(pearson(xs, ys)) < 0.5

@@ -1,0 +1,45 @@
+"""Tests for the Table 5 workload mixes."""
+
+import pytest
+
+from repro.workloads.mixes import MIXES, Mix, mix_by_name
+from repro.workloads.spec import class_counts
+
+
+class TestTable5:
+    def test_twelve_mixes(self):
+        assert len(MIXES) == 12
+
+    def test_every_mix_has_16_benchmarks(self):
+        for mix in MIXES:
+            assert len(mix.benchmark_names) == 16
+            assert len(mix.benchmarks) == 16
+
+    def test_declared_type_counts_validated(self):
+        """The (c0,c1,c2,c3) annotations of Table 5 match the benchmarks."""
+        for mix in MIXES:
+            assert class_counts(mix.benchmark_names) == mix.type_counts
+            assert sum(mix.type_counts) == 16
+
+    def test_specific_compositions(self):
+        assert mix_by_name("MIX 01").type_counts == (0, 0, 10, 6)
+        assert mix_by_name("MIX 08").type_counts == (4, 4, 4, 4)
+        assert mix_by_name("MIX 12").type_counts == (4, 8, 4, 0)
+
+    def test_lookup_by_short_name(self):
+        assert mix_by_name("5").name == "MIX 05"
+        assert mix_by_name("11").name == "MIX 11"
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(ValueError):
+            mix_by_name("MIX 99")
+
+    def test_constructor_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            Mix(name="bad", type_counts=(1, 0, 0, 0),
+                benchmark_names=("gcc",))
+
+    def test_constructor_rejects_wrong_classes(self):
+        with pytest.raises(ValueError):
+            Mix(name="bad", type_counts=(16, 0, 0, 0),
+                benchmark_names=tuple(["gcc"] * 16))

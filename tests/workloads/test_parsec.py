@@ -1,0 +1,48 @@
+"""Tests for the PARSEC benchmark table (Table 4, right)."""
+
+import pytest
+
+from repro.workloads.parsec import PARSEC_BENCHMARKS, parsec_benchmark
+
+
+class TestTableIntegrity:
+    def test_12_benchmarks(self):
+        assert len(PARSEC_BENCHMARKS) == 12
+
+    def test_paper_values_spot_checks(self):
+        dedup = parsec_benchmark("dedup")
+        assert dedup.model.l2_acf == 0.47
+        assert dedup.model.l3_acf == 0.74
+        assert dedup.l3_sigma_s == 0.12
+        streamcluster = parsec_benchmark("streamcluster")
+        assert streamcluster.model.l2_acf == 0.79
+        assert streamcluster.model.l2_sigma_t == 0.28
+
+    def test_fig16_highlights_have_high_spatial_sigma(self):
+        """facesim/ferret high sigma_s in L2; freqmine/x264 in L3 — the
+        benchmarks the paper singles out as biggest MorphCache winners."""
+        l2_sigmas = sorted(PARSEC_BENCHMARKS.values(),
+                           key=lambda b: b.l2_sigma_s, reverse=True)
+        top_l2 = {b.name for b in l2_sigmas[:3]}
+        assert {"facesim", "ferret"} <= top_l2 | {l2_sigmas[3].name}
+        l3_sigmas = sorted(PARSEC_BENCHMARKS.values(),
+                           key=lambda b: b.l3_sigma_s, reverse=True)
+        top_l3 = {b.name for b in l3_sigmas[:3]}
+        assert {"freqmine", "x264"} <= top_l3
+
+    def test_all_have_sharing(self):
+        assert all(b.model.shared_fraction > 0
+                   for b in PARSEC_BENCHMARKS.values())
+
+    def test_pipeline_benchmarks_share_most(self):
+        assert parsec_benchmark("dedup").model.shared_fraction >= \
+            parsec_benchmark("blackscholes").model.shared_fraction
+
+    def test_spatial_sigma_is_mean_of_levels(self):
+        bench = parsec_benchmark("fluidanimate")
+        expected = (bench.l2_sigma_s + bench.l3_sigma_s) / 2.0
+        assert bench.model.spatial_sigma == pytest.approx(expected)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parsec_benchmark("raytrace")

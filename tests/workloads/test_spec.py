@@ -1,0 +1,70 @@
+"""Tests for the SPEC CPU 2006 benchmark table (Table 4, left)."""
+
+import pytest
+
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    class_counts,
+    spec_benchmark,
+)
+
+
+class TestTableIntegrity:
+    def test_29_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 29
+
+    def test_paper_values_spot_checks(self):
+        hmmer = spec_benchmark("hmmer").model
+        assert (hmmer.l2_acf, hmmer.l2_sigma_t) == (0.31, 0.19)
+        assert (hmmer.l3_acf, hmmer.l3_sigma_t) == (0.69, 0.11)
+        cactus = spec_benchmark("cactusADM").model
+        assert (cactus.l2_acf, cactus.l3_acf) == (0.74, 0.48)
+        libq = spec_benchmark("libquantum").model
+        assert (libq.l2_acf, libq.l3_acf) == (0.26, 0.18)
+
+    def test_classes_match_low_high_semantics(self):
+        """Class encodes L2/L3 footprint low/high; verify the split point
+        separates the classes (class 0+1 = low L2, class 2+3 = high L2)."""
+        low_l2 = [b.model.l2_acf for b in SPEC_BENCHMARKS.values()
+                  if b.spec_class in (0, 1)]
+        high_l2 = [b.model.l2_acf for b in SPEC_BENCHMARKS.values()
+                   if b.spec_class in (2, 3)]
+        assert max(low_l2) < min(high_l2)
+
+    def test_class_l3_semantics(self):
+        low_l3 = [b.model.l3_acf for b in SPEC_BENCHMARKS.values()
+                  if b.spec_class in (0, 2)]
+        high_l3 = [b.model.l3_acf for b in SPEC_BENCHMARKS.values()
+                   if b.spec_class in (1, 3)]
+        assert max(low_l3) < min(high_l3)
+
+    def test_streamers_have_high_cold_fractions(self):
+        assert spec_benchmark("libquantum").model.cold_fraction > 0.3
+        assert spec_benchmark("lbm").model.cold_fraction > 0.3
+        assert spec_benchmark("povray").model.cold_fraction < 0.1
+
+
+class TestAliases:
+    @pytest.mark.parametrize("alias,canonical", [
+        ("Gems", "GemsFDTD"),
+        ("cactus", "cactusADM"),
+        ("leslie", "leslie3d"),
+        ("h264", "h264ref"),
+        ("libq", "libquantum"),
+        ("libm", "lbm"),
+        ("perl", "perlbench"),
+        ("xalanc", "xalancbmk"),
+        ("gomacs", "gromacs"),
+    ])
+    def test_table5_aliases_resolve(self, alias, canonical):
+        assert spec_benchmark(alias).name == canonical
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ValueError):
+            spec_benchmark("doom3")
+
+
+class TestClassCounts:
+    def test_counts_match_known_composition(self):
+        counts = class_counts(("libq", "hmmer", "bzip2", "gcc"))
+        assert counts == (1, 1, 1, 1)

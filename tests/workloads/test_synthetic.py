@@ -1,0 +1,128 @@
+"""Tests for the synthetic address-stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, CacheGeometry
+from repro.workloads.synthetic import (
+    SHARED_BASE,
+    FootprintModel,
+    SyntheticThread,
+    make_threads,
+)
+
+L2 = TINY.l2_slice
+L3 = TINY.l3_slice
+
+
+def make_model(**overrides):
+    params = dict(name="test", l2_acf=0.5, l2_sigma_t=0.05,
+                  l3_acf=0.5, l3_sigma_t=0.05)
+    params.update(overrides)
+    return FootprintModel(**params)
+
+
+class TestFootprintModel:
+    def test_validation_rejects_bad_acf(self):
+        with pytest.raises(ValueError):
+            make_model(l2_acf=0.0)
+        with pytest.raises(ValueError):
+            make_model(l3_acf=2.0)
+
+    def test_validation_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            make_model(l2_sigma_t=-0.1)
+
+    def test_validation_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            make_model(shared_fraction=1.0)
+        with pytest.raises(ValueError):
+            make_model(cold_fraction=0.6)
+        with pytest.raises(ValueError):
+            make_model(write_ratio=1.5)
+
+    def test_with_sharing(self):
+        shared = make_model().with_sharing(0.3, 0.1)
+        assert shared.shared_fraction == 0.3
+        assert shared.spatial_sigma == 0.1
+
+
+class TestSyntheticThread:
+    def test_deterministic_replay(self):
+        a = SyntheticThread(make_model(), 0, L2, L3, seed=5)
+        b = SyntheticThread(make_model(), 0, L2, L3, seed=5)
+        ta, tb = a.generate(500), b.generate(500)
+        assert np.array_equal(ta.lines, tb.lines)
+        assert np.array_equal(ta.writes, tb.writes)
+        assert np.array_equal(ta.gaps, tb.gaps)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticThread(make_model(), 0, L2, L3, seed=5)
+        b = SyntheticThread(make_model(), 0, L2, L3, seed=6)
+        assert not np.array_equal(a.generate(500).lines, b.generate(500).lines)
+
+    def test_threads_have_disjoint_private_ranges(self):
+        a = SyntheticThread(make_model(), 0, L2, L3, seed=5)
+        b = SyntheticThread(make_model(), 1, L2, L3, seed=5)
+        assert not set(a.generate(500).lines) & set(b.generate(500).lines)
+
+    def test_write_ratio_respected(self):
+        thread = SyntheticThread(make_model(write_ratio=0.3), 0, L2, L3, seed=1)
+        trace = thread.generate(4000)
+        assert trace.writes.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_mean_gap_respected(self):
+        thread = SyntheticThread(make_model(mean_gap=2.0), 0, L2, L3, seed=1)
+        trace = thread.generate(4000)
+        assert trace.gaps.mean() == pytest.approx(2.0, abs=0.3)
+
+    def test_zero_gap_model(self):
+        thread = SyntheticThread(make_model(mean_gap=0.0), 0, L2, L3, seed=1)
+        assert thread.generate(100).gaps.sum() == 0
+
+    def test_cold_stream_never_repeats(self):
+        model = make_model(cold_fraction=0.4, drift=0.0)
+        thread = SyntheticThread(model, 0, L2, L3, seed=1)
+        t1 = thread.generate(1000)
+        t2 = thread.generate(1000)
+        cold_base = thread._cold_cursor - 10
+        assert cold_base not in set(t1.lines)  # cursor advanced past t1
+
+    def test_footprint_scales_with_acf(self):
+        small = SyntheticThread(make_model(l2_acf=0.2, l3_acf=0.2), 0, L2, L3, seed=1)
+        large = SyntheticThread(make_model(l2_acf=0.8, l3_acf=0.8), 1, L2, L3, seed=1)
+        assert large.generate(2000).unique_lines > small.generate(2000).unique_lines
+
+    def test_shared_fraction_targets_shared_region(self):
+        model = make_model(shared_fraction=0.4)
+        thread = SyntheticThread(model, 0, L2, L3, seed=1)
+        trace = thread.generate(2000)
+        shared = (trace.lines >= SHARED_BASE).mean()
+        assert shared == pytest.approx(0.4, abs=0.06)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            SyntheticThread(make_model(), 0, L2, L3, spatial_scale=0.0)
+        thread = SyntheticThread(make_model(), 0, L2, L3)
+        with pytest.raises(ValueError):
+            thread.generate(0)
+
+
+class TestMakeThreads:
+    def test_builds_requested_count(self):
+        threads = make_threads(make_model(spatial_sigma=0.1), 4, L2, L3, seed=2)
+        assert len(threads) == 4
+        assert [t.thread_id for t in threads] == [0, 1, 2, 3]
+
+    def test_spatial_sigma_spreads_scales(self):
+        threads = make_threads(make_model(spatial_sigma=0.15), 16, L2, L3, seed=2)
+        scales = [t.spatial_scale for t in threads]
+        assert np.std(scales) > 0.05
+
+    def test_zero_sigma_uniform_scales(self):
+        threads = make_threads(make_model(spatial_sigma=0.0), 8, L2, L3, seed=2)
+        assert all(t.spatial_scale == 1.0 for t in threads)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            make_threads(make_model(), 0, L2, L3)

@@ -1,0 +1,66 @@
+"""Tests for the trace representation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import EpochTrace, interleave_round_robin
+
+
+def make_trace(lines):
+    n = len(lines)
+    return EpochTrace(
+        lines=np.asarray(lines, dtype=np.int64),
+        writes=np.zeros(n, dtype=bool),
+        gaps=np.full(n, 2, dtype=np.int32),
+    )
+
+
+class TestEpochTrace:
+    def test_length(self):
+        assert len(make_trace([1, 2, 3])) == 3
+
+    def test_instructions_counts_gaps_plus_references(self):
+        trace = make_trace([1, 2, 3])
+        assert trace.instructions == 3 * 2 + 3
+
+    def test_unique_lines(self):
+        assert make_trace([1, 1, 2]).unique_lines == 2
+
+    def test_iteration_yields_python_types(self):
+        for line, write, gap in make_trace([5]):
+            assert isinstance(line, int)
+            assert isinstance(write, bool)
+            assert isinstance(gap, int)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            EpochTrace(
+                lines=np.zeros(3, dtype=np.int64),
+                writes=np.zeros(2, dtype=bool),
+                gaps=np.zeros(3, dtype=np.int32),
+            )
+
+    def test_concatenate(self):
+        joined = EpochTrace.concatenate([make_trace([1]), make_trace([2, 3])])
+        assert list(joined.lines) == [1, 2, 3]
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            EpochTrace.concatenate([])
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        merged = interleave_round_robin([make_trace([1, 2]), make_trace([10, 20])])
+        assert [(tid, line) for tid, line, _, _ in merged] == [
+            (0, 1), (1, 10), (0, 2), (1, 20)
+        ]
+
+    def test_uneven_lengths(self):
+        merged = interleave_round_robin([make_trace([1]), make_trace([10, 20])])
+        assert [(tid, line) for tid, line, _, _ in merged] == [
+            (0, 1), (1, 10), (1, 20)
+        ]
+
+    def test_empty_input(self):
+        assert interleave_round_robin([]) == []

@@ -9,7 +9,6 @@
 
 from benchmarks.common import (
     BASELINE,
-    BENCH_CONFIG,
     EPOCHS,
     STATICS,
     format_rows,

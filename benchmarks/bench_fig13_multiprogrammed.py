@@ -10,7 +10,6 @@ margins are smaller — see EXPERIMENTS.md.
 """
 
 from benchmarks.common import (
-    BASELINE,
     STATICS,
     format_rows,
     geometric_mean,

@@ -8,7 +8,7 @@ configuration must improve (or at least not degrade) with QoS enabled,
 ideally approaching 1.0 (no application below its fair share).
 """
 
-from benchmarks.common import BENCH_CONFIG, format_rows, report, run
+from benchmarks.common import format_rows, report, run
 from repro.config import MorphConfig
 from repro.sim.workload import Workload
 from repro.workloads import mix_by_name

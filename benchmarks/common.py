@@ -22,7 +22,7 @@ from repro.config import SMALL, MachineConfig, MorphConfig
 from repro.sim.engine import RunResult, simulate
 from repro.sim.experiment import build_system
 from repro.sim.workload import Workload
-from repro.workloads import MIXES, PARSEC_BENCHMARKS, mix_by_name
+from repro.workloads import MIXES, PARSEC_BENCHMARKS
 
 #: The machine every benchmark runs on.
 BENCH_CONFIG: MachineConfig = SMALL.with_(

@@ -14,14 +14,9 @@ Run:  python examples/scaling_and_power.py
 
 from repro import Workload, config, mix_by_name
 from repro.core.tiles import TiledMorphCache
-from repro.interconnect.power import (
-    SegmentedBusPowerModel,
-    traffic_from_hierarchy_stats,
-)
+from repro.interconnect.power import SegmentedBusPowerModel
 from repro.render import render_topology
-from repro.sim.engine import simulate
 from repro.sim.experiment import build_system
-from repro.workloads import mix_by_name
 
 
 def tiled_demo() -> None:

@@ -21,6 +21,8 @@ Packages:
 - :mod:`repro.baselines` — static topologies, PIPP, DSR, ideal offline.
 - :mod:`repro.cpu` / :mod:`repro.sim` — core timing and the epoch engine.
 - :mod:`repro.metrics` — throughput, weighted/fair speedup, correlation.
+- :mod:`repro.resilience` — fault injection, invariant guards,
+  checkpoint/resume, and the typed error taxonomy.
 """
 
 from repro import config
@@ -28,6 +30,15 @@ from repro.config import MachineConfig, MorphConfig, MsatConfig, preset
 from repro.core import MorphCacheController
 from repro.cpu import CmpSystem
 from repro.metrics import fair_speedup, throughput, weighted_speedup
+from repro.resilience import (
+    CheckpointError,
+    ConfigError,
+    FaultInjectedError,
+    FaultPlan,
+    ReproError,
+    TopologyInvariantError,
+    parse_fault_spec,
+)
 from repro.sim import RunResult, Workload, alone_ipcs, run_scheme, simulate
 from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
 
@@ -53,5 +64,12 @@ __all__ = [
     "mix_by_name",
     "SPEC_BENCHMARKS",
     "PARSEC_BENCHMARKS",
+    "ReproError",
+    "ConfigError",
+    "TopologyInvariantError",
+    "FaultInjectedError",
+    "CheckpointError",
+    "FaultPlan",
+    "parse_fault_spec",
     "__version__",
 ]

@@ -23,9 +23,9 @@ extension.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.caches.cache import CacheSlice, Entry
+from repro.caches.cache import CacheSlice
 from repro.config import MachineConfig
 
 #: Set-dueling constants (SDMs of 1/8 of sets each side, 10-bit PSEL).

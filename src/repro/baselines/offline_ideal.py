@@ -10,7 +10,7 @@ ideal scheme's epoch series is the pointwise maximum over configurations.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 from repro.sim.engine import EpochResult, RunResult
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.caches.cache import CacheSlice, Entry
 from repro.caches.stats import HierarchyStats
 from repro.config import MachineConfig
+from repro.resilience.errors import FaultInjectedError
 
 L2 = "l2"
 L3 = "l3"
@@ -80,6 +81,12 @@ class CacheHierarchy:
                     for i in range(n)]
         self.stats = HierarchyStats.for_machine(n)
         self._stamp = 0
+        self.bus_penalty = 0
+        """Extra cycles a remote (merged) hit pays while a bus fault stalls
+        the arbiter; set by the fault injector, 0 in healthy epochs."""
+
+        # Slices taken offline by injected faults, per level.
+        self._disabled: Dict[str, Set[int]] = {L2: set(), L3: set()}
         # line -> cores holding the line in their L1 (inclusion directory).
         self._l1_directory: Dict[int, Set[int]] = {}
         private = [(i,) for i in range(n)]
@@ -125,16 +132,66 @@ class CacheHierarchy:
         self._l3_groups = [tuple(g) for g in l3_groups]
         self._l2_group_of = [()] * n
         self._l3_group_of = [()] * n
+        for group in self._l2_groups:
+            for slice_id in group:
+                self._l2_group_of[slice_id] = group
+        for group in self._l3_groups:
+            for slice_id in group:
+                self._l3_group_of[slice_id] = group
+        self._recompute_search_orders()
+        self._repair_after_reconfiguration()
+
+    def _recompute_search_orders(self) -> None:
+        """Derive per-core lookup orders, skipping fault-disabled slices."""
+        n = self.config.cores
         self._l2_search_order = [()] * n
         self._l3_search_order = [()] * n
         for group in self._l2_groups:
             for slice_id in group:
-                self._l2_group_of[slice_id] = group
-                self._l2_search_order[slice_id] = _search_order(slice_id, group)
+                self._l2_search_order[slice_id] = _search_order(
+                    slice_id, group, self._disabled[L2])
         for group in self._l3_groups:
             for slice_id in group:
-                self._l3_group_of[slice_id] = group
-                self._l3_search_order[slice_id] = _search_order(slice_id, group)
+                self._l3_search_order[slice_id] = _search_order(
+                    slice_id, group, self._disabled[L3])
+
+    # -- fault support -----------------------------------------------------
+
+    def disabled_slices(self, level: str) -> Set[int]:
+        """Slices currently offline at ``level`` (injected faults)."""
+        return set(self._disabled[level])
+
+    def set_faulted_slices(self, level: str, slice_ids: Set[int]) -> None:
+        """Take the given slices offline at ``level`` (and the rest online).
+
+        Newly-offline slices are flushed (a failed slice loses its data) and
+        excluded from every group's lookup/fill path; the surviving slices
+        of each group carry on serving.  Inclusion is re-established by the
+        standard reconfiguration repair.  Re-enabled slices come back empty.
+
+        Raises:
+            FaultInjectedError: disabling every slice of a level — the
+                machine would be unable to cache anything there.
+        """
+        slice_ids = {int(s) for s in slice_ids}
+        n = self.config.cores
+        if any(not 0 <= s < n for s in slice_ids):
+            raise FaultInjectedError(
+                f"{level} fault targets {sorted(slice_ids)} outside 0..{n - 1}")
+        if len(slice_ids) >= n:
+            raise FaultInjectedError(
+                f"fault set disables every {level} slice; no capacity left")
+        if slice_ids == self._disabled[level]:
+            return
+        newly_offline = slice_ids - self._disabled[level]
+        self._disabled[level] = slice_ids
+        slices = self.l2s if level == L2 else self.l3s
+        slice_stats = self.stats.l2_slices if level == L2 else self.stats.l3_slices
+        for slice_id in newly_offline:
+            for entry in slices[slice_id].flush():
+                slice_stats[slice_id].evictions += 1
+                self.observer.on_evict(level, slice_id, entry.line, entry.owner)
+        self._recompute_search_orders()
         self._repair_after_reconfiguration()
 
     def _repair_after_reconfiguration(self) -> None:
@@ -233,18 +290,23 @@ class CacheHierarchy:
                 core_stats.l3_remote_hits += 1
             else:
                 core_stats.l3_local_hits += 1
-            self._fill_group(L2, core, line, write, stamp)
-            total = latency + self._fill_l1(core, line, write, stamp)
+            l2_filled = self._fill_group(L2, core, line, write, stamp)
+            total = latency
+            if l2_filled is not None:
+                total += self._fill_l1(core, line, write, stamp)
             if write:
                 total += self._invalidate_other_l1s(core, line)
             return AccessResult(latency=total, level="l3", remote=remote)
 
-        # Main memory.
+        # Main memory.  Fills cascade only while the parent level succeeded:
+        # with a whole group fault-disabled the lower levels skip caching
+        # too, preserving inclusion (an L2 copy must have an L3 backing).
         core_stats.memory_accesses += 1
         core_stats.memory_cycles += lat.memory
-        self._fill_group(L3, core, line, write, stamp)
-        self._fill_group(L2, core, line, write, stamp)
-        total = lat.memory + self._fill_l1(core, line, write, stamp)
+        total = lat.memory
+        if self._fill_group(L3, core, line, write, stamp) is not None:
+            if self._fill_group(L2, core, line, write, stamp) is not None:
+                total += self._fill_l1(core, line, write, stamp)
         if write:
             total += self._invalidate_other_l1s(core, line)
         return AccessResult(latency=total, level="mem", remote=False)
@@ -291,21 +353,26 @@ class CacheHierarchy:
         if is_local or not self.charge_remote_latency:
             return winner_slice, local_hit
         # Remote hits pay the merged latency plus the segmented-bus span
-        # cost for slices beyond the immediate neighbourhood (Section 5.5).
+        # cost for slices beyond the immediate neighbourhood (Section 5.5),
+        # plus the arbiter-stall penalty while a bus fault is active.
         distance_penalty = (abs(winner_slice - core) - 1) * lat.distance_cycles_per_hop
-        return winner_slice, merged_hit + max(0, distance_penalty)
+        return winner_slice, merged_hit + max(0, distance_penalty) + self.bus_penalty
 
     def _fill_group(self, level: str, core: int, line: int, write: bool,
-                    stamp: int) -> None:
+                    stamp: int) -> Optional[int]:
         """Install ``line`` into the core's group at ``level``.
 
         Placement: the local slice if its set has room, else any group slice
         with room, else the slice holding the group-wide LRU victim (summed
-        associativity per footnote 1).
+        associativity per footnote 1).  Returns the slice filled, or None
+        when every slice of the group is fault-disabled (the line is simply
+        not cached at this level).
         """
         slices = self.l2s if level == L2 else self.l3s
         slice_stats = self.stats.l2_slices if level == L2 else self.stats.l3_slices
         order = (self._l2_search_order if level == L2 else self._l3_search_order)[core]
+        if not order:
+            return None
 
         target = None
         for slice_id in order:
@@ -322,7 +389,7 @@ class CacheHierarchy:
                     oldest_stamp = candidate.stamp
                     target = slice_id
             if target is None:  # pragma: no cover - sets cannot all be unfull and victimless
-                target = core
+                target = order[0]
         victim = slices[target].insert(line, core, write, stamp)
         slice_stats[target].insertions += 1
         self.observer.on_fill(level, target, core, line)
@@ -330,6 +397,7 @@ class CacheHierarchy:
             slice_stats[target].evictions += 1
             self.observer.on_evict(level, target, victim.line, victim.owner)
             self._back_invalidate(level, target, victim.line)
+        return target
 
     def _back_invalidate(self, level: str, from_slice: int, line: int) -> None:
         """Maintain inclusion after an eviction at ``level``."""
@@ -405,7 +473,15 @@ class CacheHierarchy:
                     )
 
 
-def _search_order(local: int, group: Tuple[int, ...]) -> Tuple[int, ...]:
-    """Local slice first, then the rest of the group by physical distance."""
-    rest = sorted((s for s in group if s != local), key=lambda s: abs(s - local))
+def _search_order(local: int, group: Tuple[int, ...],
+                  disabled: Set[int] = frozenset()) -> Tuple[int, ...]:
+    """Local slice first, then the rest of the group by physical distance.
+
+    Fault-disabled slices are excluded entirely; a core whose local slice is
+    offline is served by the surviving slices of its group (possibly none).
+    """
+    alive = [s for s in group if s not in disabled]
+    rest = sorted((s for s in alive if s != local), key=lambda s: abs(s - local))
+    if local in disabled:
+        return tuple(rest)
     return (local, *rest)

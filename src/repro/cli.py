@@ -5,11 +5,17 @@ Commands:
 - ``table3 [--preset P]`` — print the machine description.
 - ``table2`` — print the arbiter synthesis table.
 - ``list`` — available mixes, PARSEC benchmarks and schemes.
-- ``run --workload W [--scheme S] [--preset P] [--epochs N] [--seed K]`` —
+- ``run --workload W [--scheme S] [--preset P] [--epochs N] [--seed K]
+  [--faults SPEC] [--checkpoint PATH [--checkpoint-every N] [--resume]]`` —
   simulate one scheme on one workload (``MIX 01``.. / a PARSEC name / an
   ``alone:<spec>`` benchmark) and print per-epoch results.
 - ``compare --workload W [--preset P]`` — run the Figure 13 scheme set on
   one workload and print normalised throughput.
+
+Errors from the simulator exit with a distinct code per class so sweep
+scripts can tell failures apart: ``ConfigError`` 3,
+``TopologyInvariantError`` 4, ``FaultInjectedError`` 5, ``CheckpointError``
+6, any other ``ReproError`` 2.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from typing import List, Optional
 from repro.baselines.static_topologies import STATIC_LABELS
 from repro.config import format_table3, preset
 from repro.interconnect.timing import ArbiterTimingModel
-from repro.render import render_series, render_topology
+from repro.render import render_series
+from repro.resilience import ReproError, parse_fault_spec
 from repro.sim.experiment import run_scheme
 from repro.sim.workload import Workload
 from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
@@ -63,11 +70,20 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     machine = preset(args.preset)
+    if args.epochs is not None:
+        machine = machine.with_(epochs=args.epochs)
     workload = _workload_from_name(args.workload)
+    fault_plan = parse_fault_spec(args.faults) if args.faults else None
     result = run_scheme(args.scheme, workload, machine, seed=args.seed,
-                        epochs=args.epochs)
+                        epochs=args.epochs,
+                        fault_plan=fault_plan,
+                        checkpoint_path=args.checkpoint,
+                        checkpoint_every=args.checkpoint_every,
+                        resume=args.resume)
     print(f"{args.scheme} on {workload.name} "
           f"({args.preset} preset, seed {args.seed})")
+    if fault_plan:
+        print(f"fault plan: {fault_plan.name} (seed {fault_plan.seed})")
     for epoch in result.epochs:
         print(f"  epoch {epoch.epoch}: throughput {epoch.throughput:.3f}  "
               f"topology {epoch.topology_label}")
@@ -110,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--preset", default="small")
     run_parser.add_argument("--epochs", type=int, default=4)
     run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. "
+             "'disable-slice:every=10:level=l3,flip-acfv:at=5:bits=8,seed=7'")
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable checkpoint to PATH during the run")
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="N",
+        help="checkpoint cadence in epochs (default 5)")
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint PATH (verified bit-identical replay)")
 
     compare_parser = sub.add_parser("compare",
                                     help="compare the Figure 13 scheme set")
@@ -131,7 +160,13 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Each error class carries its own exit code (see module docstring)
+        # so sweep scripts can distinguish failure modes.
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -24,8 +24,16 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.resilience.errors import ConfigError
+
 LINE_BYTES = 64
 """Cache line size in bytes (Table 3)."""
+
+
+def _require(condition: bool, field_name: str, message: str) -> None:
+    """Raise :class:`ConfigError` naming the offending field."""
+    if not condition:
+        raise ConfigError(field_name, message)
 
 
 @dataclass(frozen=True)
@@ -36,10 +44,12 @@ class CacheGeometry:
     ways: int
 
     def __post_init__(self) -> None:
-        if self.sets <= 0 or self.ways <= 0:
-            raise ValueError(f"sets and ways must be positive, got {self}")
-        if self.sets & (self.sets - 1):
-            raise ValueError(f"sets must be a power of two, got {self.sets}")
+        _require(self.sets > 0, "sets", f"must be positive, got {self.sets}")
+        _require(self.ways > 0, "ways", f"must be positive, got {self.ways}")
+        _require(self.sets & (self.sets - 1) == 0, "sets",
+                 f"must be a power of two, got {self.sets}")
+        _require(self.ways & (self.ways - 1) == 0, "ways",
+                 f"must be a power of two, got {self.ways}")
 
     @property
     def lines(self) -> int:
@@ -82,8 +92,9 @@ class LatencyModel:
     (Section 5.5's -7.1 %)."""
 
     def __post_init__(self) -> None:
-        if min(dataclasses.astuple(self)) < 0:
-            raise ValueError("latencies must be non-negative")
+        for f in dataclasses.fields(self):
+            _require(getattr(self, f.name) >= 0, f.name,
+                     f"latency must be non-negative, got {getattr(self, f.name)}")
 
     @property
     def bus_overhead(self) -> int:
@@ -113,10 +124,10 @@ class MsatConfig:
     low_min: float = 5.0
 
     def __post_init__(self) -> None:
-        if not 0 <= self.low < self.high <= 100:
-            raise ValueError(f"need 0 <= low < high <= 100, got {self}")
-        if not 0 <= self.overlap <= 100:
-            raise ValueError(f"overlap must be a percentage, got {self}")
+        _require(0 <= self.low < self.high <= 100, "high/low",
+                 f"need 0 <= low < high <= 100, got low={self.low} high={self.high}")
+        _require(0 <= self.overlap <= 100, "overlap",
+                 f"must be a percentage, got {self.overlap}")
 
 
 @dataclass(frozen=True)
@@ -156,12 +167,12 @@ class MorphConfig:
     for ablation."""
 
     def __post_init__(self) -> None:
-        if self.acfv_bits is not None and self.acfv_bits <= 0:
-            raise ValueError("acfv_bits must be positive")
-        if self.hash_name not in ("xor", "modulo"):
-            raise ValueError(f"unknown hash {self.hash_name!r}")
-        if self.conflict_policy not in ("merge", "split"):
-            raise ValueError(f"unknown conflict policy {self.conflict_policy!r}")
+        _require(self.acfv_bits is None or self.acfv_bits > 0, "acfv_bits",
+                 f"must be positive, got {self.acfv_bits}")
+        _require(self.hash_name in ("xor", "modulo"), "hash_name",
+                 f"unknown hash {self.hash_name!r}")
+        _require(self.conflict_policy in ("merge", "split"), "conflict_policy",
+                 f"unknown conflict policy {self.conflict_policy!r}")
 
 
 @dataclass(frozen=True)
@@ -181,14 +192,18 @@ class MachineConfig:
     accesses_per_core_per_epoch: int = 200_000
 
     def __post_init__(self) -> None:
-        if self.cores <= 0 or self.cores & (self.cores - 1):
-            raise ValueError(f"cores must be a positive power of two, got {self.cores}")
-        if self.issue_width <= 0:
-            raise ValueError("issue_width must be positive")
-        if self.replacement not in ("lru", "plru"):
-            raise ValueError(f"unknown replacement {self.replacement!r}")
-        if self.epochs <= 0 or self.accesses_per_core_per_epoch <= 0:
-            raise ValueError("epochs and accesses must be positive")
+        _require(self.cores > 0 and self.cores & (self.cores - 1) == 0, "cores",
+                 f"must be a positive power of two, got {self.cores}")
+        _require(self.issue_width > 0, "issue_width",
+                 f"must be positive, got {self.issue_width}")
+        _require(self.replacement in ("lru", "plru"), "replacement",
+                 f"unknown replacement {self.replacement!r}")
+        _require(self.epochs > 0, "epochs",
+                 f"epoch count must be positive, got {self.epochs}")
+        _require(self.accesses_per_core_per_epoch > 0,
+                 "accesses_per_core_per_epoch",
+                 f"epoch length must be positive, "
+                 f"got {self.accesses_per_core_per_epoch}")
 
     def with_(self, **changes) -> "MachineConfig":
         """Return a copy with the given fields replaced."""

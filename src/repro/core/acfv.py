@@ -27,7 +27,7 @@ uses the raw count, exactly as the hardware would.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.caches.hierarchy import HierarchyObserver
 from repro.core.hashing import make_hash
@@ -54,6 +54,13 @@ class Acfv:
     def reset(self) -> None:
         """Zero the vector (start of a reconfiguration interval)."""
         self._vector = 0
+
+    def flip(self, bit: int) -> None:
+        """Invert one bit in place (fault injection: a soft error in the
+        footprint-tracking SRAM)."""
+        if not 0 <= bit < self.bits:
+            raise ValueError(f"bit {bit} out of range for {self.bits}-bit vector")
+        self._vector ^= 1 << bit
 
     @property
     def ones(self) -> int:

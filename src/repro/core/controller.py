@@ -27,6 +27,7 @@ from repro.core.acfv import AcfvBank
 from repro.core.decisions import DecisionEngine
 from repro.core.qos import MsatThrottler
 from repro.core.topology import Group, TopologyState
+from repro.resilience.guards import TopologyGuard
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,11 @@ class MorphCacheController:
             self.morph, l2_lines, l3_lines, shared_address_space
         )
         self.throttler = MsatThrottler(self.morph.msat, enabled=self.morph.qos)
+        self.guard = TopologyGuard(
+            n_slices=config.cores,
+            allow_non_neighbors=self.morph.allow_non_neighbors,
+        )
+        self.guard.remember_good(self.topology)
         self.events: List[ReconfigEvent] = []
         self.hierarchy: Optional[CacheHierarchy] = None
         self._epoch = 0
@@ -102,7 +108,26 @@ class MorphCacheController:
             )
 
         self.engine.set_miss_feedback(epoch_misses)
-        actions = self.engine.decide(self.topology, self.bank, self.throttler.msat)
+
+        # Guard pass 1: the *current* topology may have been corrupted since
+        # the last boundary (fault injection, state corruption).  A violation
+        # here rolls back to last-known-good before any decision runs.
+        corrupted = self.guard.review(self.topology) is not None
+
+        actions: List = []
+        if not corrupted and self.guard.decisions_enabled:
+            try:
+                actions = self.engine.decide(
+                    self.topology, self.bank, self.throttler.msat
+                )
+            except Exception as exc:  # noqa: BLE001 - routed to the ladder
+                self.guard.record_failure(self.topology, exc)
+                actions = []
+            else:
+                # Guard pass 2: reject the transition the decision pass just
+                # produced if it broke an invariant, and discard its actions.
+                if self.guard.review(self.topology) is not None:
+                    actions = []
 
         new_events: List[ReconfigEvent] = []
         merged_cores: Set[int] = set()

@@ -20,7 +20,7 @@ the design point the paper argues for).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.config import MachineConfig, MorphConfig

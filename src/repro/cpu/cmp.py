@@ -14,7 +14,7 @@ cache organisations (see :mod:`repro.baselines`).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.config import MachineConfig, MorphConfig

@@ -18,7 +18,7 @@ transfer occupies cycle t+3 (3-cycle transactions at 1 GHz).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 
 class Arbiter:
@@ -74,10 +74,20 @@ class ArbiterTree:
             for level in range(self.levels)
         ]
         self.share_level = [0] * n_slices
+        self.stalled: Set[int] = set()
+        """Slice ports held in reset by a fault — they are never granted;
+        healthy ports keep arbitrating normally."""
 
     @property
     def n_arbiters(self) -> int:
         return sum(len(level) for level in self.arbiters)
+
+    def stall_ports(self, slice_ids: Sequence[int]) -> None:
+        """Fault hook: stall the given slice ports (empty = clear all)."""
+        for slice_id in slice_ids:
+            if not 0 <= slice_id < self.n_slices:
+                raise ValueError(f"slice {slice_id} out of range")
+        self.stalled = set(slice_ids)
 
     # -- configuration -----------------------------------------------------
 
@@ -121,6 +131,7 @@ class ArbiterTree:
         if len(requests) != self.n_slices:
             raise ValueError("requests must have one entry per slice")
         effective = [bool(requests[s]) and self.share_level[s] > 0
+                     and s not in self.stalled
                      for s in range(self.n_slices)]
 
         # Propagate requests up level by level, latching at each arbiter.

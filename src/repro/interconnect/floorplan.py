@@ -17,7 +17,7 @@ from the slice to the root arbiter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 Point = Tuple[float, float]
 

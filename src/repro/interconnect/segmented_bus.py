@@ -16,7 +16,7 @@ tagging messages with logical group ids.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 
 class SegmentedBus:
@@ -27,6 +27,9 @@ class SegmentedBus:
             raise ValueError("need at least one segment")
         self.n_segments = n_segments
         self._switch_enabled = [False] * (n_segments - 1)
+        self.dropped: Set[int] = set()
+        """Segments whose grants a fault silently drops this round: the
+        requester is skipped and its domain stays free for the next one."""
 
     # -- configuration -----------------------------------------------------
 
@@ -81,16 +84,26 @@ class SegmentedBus:
         """True if transactions from segments ``a`` and ``b`` share wires."""
         return self.domain_of(a) == self.domain_of(b)
 
+    def drop_grants(self, segments: Sequence[int]) -> None:
+        """Fault hook: silently drop grants to these segments (empty = heal)."""
+        for segment in segments:
+            if not 0 <= segment < self.n_segments:
+                raise ValueError(f"segment {segment} out of range")
+        self.dropped = set(segments)
+
     def grant_parallel(self, requesters: Sequence[int]) -> List[int]:
         """Grant one requester per electrical domain (lowest id wins).
 
         Models the property the paper highlights: a segmented bus supports
         multiple simultaneous transactions as long as they are in isolated
-        segment groups.
+        segment groups.  Requesters in :attr:`dropped` lose their grant to
+        the fault; their domain remains available to the next requester.
         """
         granted: List[int] = []
         busy: Set[Tuple[int, ...]] = set()
         for requester in sorted(requesters):
+            if requester in self.dropped:
+                continue
             domain = self.domain_of(requester)
             if domain not in busy:
                 busy.add(domain)

@@ -1,0 +1,58 @@
+"""Resilience subsystem: faults, invariant guards, checkpoint/resume.
+
+- :mod:`~repro.resilience.errors` — the typed exception taxonomy
+  (:class:`ReproError` and its per-class CLI exit codes).
+- :mod:`~repro.resilience.faults` — deterministic seeded fault plans and the
+  injector that applies them (ACFV bit flips, slice failures, bus stalls,
+  topology corruption).
+- :mod:`~repro.resilience.guards` — machine-checked topology invariants and
+  the degradation ladder (roll back → freeze → static fallback).
+- :mod:`~repro.resilience.checkpoint` — replay-verified checkpoint/resume
+  for long sweeps.
+"""
+
+from repro.resilience.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultInjectedError,
+    ReproError,
+    TopologyInvariantError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    parse_fault_spec,
+)
+from repro.resilience.guards import (
+    GuardEvent,
+    TopologyGuard,
+    validate_topology,
+)
+from repro.resilience.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    state_digest,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TopologyInvariantError",
+    "FaultInjectedError",
+    "CheckpointError",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_spec",
+    "TopologyGuard",
+    "GuardEvent",
+    "validate_topology",
+    "state_digest",
+    "save_checkpoint",
+    "load_checkpoint",
+]

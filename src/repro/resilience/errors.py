@@ -1,0 +1,65 @@
+"""Typed exception taxonomy for the reproduction.
+
+Every error the simulator raises deliberately derives from
+:class:`ReproError`, so callers (the CLI, the benchmark harness, CI) can
+distinguish *what class of thing went wrong* without parsing messages:
+
+- :class:`ConfigError` — an invalid machine/policy/fault configuration,
+  detected at construction time with the offending field named;
+- :class:`TopologyInvariantError` — a proposed L2/L3 slice grouping violates
+  a structural invariant (partition exactness, inclusion, connectivity);
+- :class:`FaultInjectedError` — an injected fault made forward progress
+  impossible (e.g. a fault plan that disables every slice of a level);
+- :class:`CheckpointError` — a checkpoint file is missing, corrupt, or was
+  written by a different run than the one resuming from it.
+
+Each class carries a distinct process exit code (``exit_code``) used by
+``python -m repro`` so CI failures are diagnosable from the status alone.
+
+This module is deliberately import-free so any layer of the package can
+raise these without creating dependency cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all deliberate simulator errors."""
+
+    exit_code = 2
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value, with the offending field named.
+
+    Subclasses :class:`ValueError` so existing callers that guard
+    construction with ``except ValueError`` keep working.
+    """
+
+    exit_code = 3
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(f"{field}: {message}")
+        self.field = field
+
+
+class TopologyInvariantError(ReproError):
+    """A slice grouping violates a structural topology invariant."""
+
+    exit_code = 4
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+
+
+class FaultInjectedError(ReproError):
+    """An injected fault left the machine unable to make progress."""
+
+    exit_code = 5
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be loaded, verified, or resumed from."""
+
+    exit_code = 6

@@ -1,0 +1,247 @@
+"""Topology invariant guards and the degradation ladder.
+
+MorphCache's safety argument (Sections 2.2/2.3 of the paper) rests on every
+topology transition preserving four structural invariants.  The guard layer
+machine-checks them *before* a proposed grouping is pushed into the cache
+hierarchy:
+
+1. **partition exactness** — at each level every slice belongs to exactly
+   one group (no orphaned or duplicated slice, so no core loses its cache);
+2. **capacity conservation** — the groups jointly cover exactly the
+   machine's slices, so merging/splitting never creates or destroys lines;
+3. **inclusion** — every L2 group is contained in a single L3 group, so a
+   merged L2 region cannot outgrow its backing L3 region;
+4. **connectivity** — each group is a contiguous run on the floorplan (the
+   segmented bus only joins neighbouring segments), unless the Section 5.5
+   non-neighbour extension is enabled.
+
+On a violation the :class:`TopologyGuard` does not crash the experiment: it
+rolls the controller back to the last-known-good topology and climbs a
+degradation ladder —
+
+    retry next epoch  →  freeze topology  →  fall back to the static baseline
+
+so a corrupted controller degrades to a correct (if less adaptive) machine
+instead of aborting a long sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.errors import TopologyInvariantError
+
+# NOTE: this module must not import repro.core/repro.caches at module level
+# (repro.caches.hierarchy imports repro.resilience.errors, which initialises
+# this package).  parse_config_label is imported lazily where needed;
+# TopologyState is duck-typed.
+Group = Tuple[int, ...]
+
+#: Ladder modes, in degradation order.
+NORMAL = "normal"
+RETRY = "retry"
+FROZEN = "frozen"
+FALLBACK = "fallback"
+
+
+def validate_topology(
+    n_slices: int,
+    l2_groups: Sequence[Group],
+    l3_groups: Sequence[Group],
+    allow_non_neighbors: bool = False,
+) -> None:
+    """Check the four structural invariants; raise on the first violation.
+
+    Raises:
+        TopologyInvariantError: with ``invariant`` naming the failed check
+            (``partition``, ``capacity``, ``inclusion`` or ``connectivity``).
+    """
+    for level, groups in (("l2", l2_groups), ("l3", l3_groups)):
+        seen: Dict[int, Group] = {}
+        for group in groups:
+            if not group:
+                raise TopologyInvariantError(
+                    "partition", f"{level} contains an empty group")
+            for slice_id in group:
+                if not 0 <= slice_id < n_slices:
+                    raise TopologyInvariantError(
+                        "partition",
+                        f"{level} group {group} references slice {slice_id} "
+                        f"outside 0..{n_slices - 1}")
+                if slice_id in seen:
+                    raise TopologyInvariantError(
+                        "partition",
+                        f"slice {slice_id} appears in {level} groups "
+                        f"{seen[slice_id]} and {group}")
+                seen[slice_id] = group
+        orphans = set(range(n_slices)) - set(seen)
+        if orphans:
+            raise TopologyInvariantError(
+                "partition",
+                f"{level} orphans cores {sorted(orphans)}: no group serves them")
+        covered = sum(len(g) for g in groups)
+        if covered != n_slices:
+            raise TopologyInvariantError(
+                "capacity",
+                f"{level} groups cover {covered} slices, machine has {n_slices}")
+        if not allow_non_neighbors:
+            for group in groups:
+                ordered = tuple(sorted(group))
+                if ordered != tuple(range(ordered[0], ordered[-1] + 1)):
+                    raise TopologyInvariantError(
+                        "connectivity",
+                        f"{level} group {group} is not a contiguous run on "
+                        "the floorplan (segmented bus cannot join it)")
+
+    l3_of: Dict[int, Group] = {}
+    for group in l3_groups:
+        for slice_id in group:
+            l3_of[slice_id] = group
+    for group in l2_groups:
+        covering = {l3_of[s] for s in group}
+        if len(covering) != 1:
+            raise TopologyInvariantError(
+                "inclusion",
+                f"L2 group {group} spans L3 groups {sorted(covering, key=min)}")
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One guard intervention, for post-run reporting."""
+
+    epoch: int
+    action: str
+    """``rolled-back``, ``froze`` or ``fallback``."""
+
+    violation: str
+    mode_after: str
+
+
+@dataclass
+class TopologyGuard:
+    """Validates transitions and drives the degradation ladder.
+
+    Args:
+        n_slices: machine slice count per level.
+        allow_non_neighbors: accept non-contiguous groups (Section 5.5).
+        max_retries: consecutive rolled-back epochs before freezing.
+        max_freeze_violations: violations *while frozen* before falling back
+            to the static baseline topology.
+        fallback_label: the ``(x:y:z)`` topology installed on fallback;
+            defaults to ``(n:1:1)``, the all-shared static baseline the
+            paper's comparisons normalise against.
+    """
+
+    n_slices: int
+    allow_non_neighbors: bool = False
+    max_retries: int = 2
+    max_freeze_violations: int = 1
+    fallback_label: Optional[str] = None
+
+    mode: str = NORMAL
+    events: List[GuardEvent] = field(default_factory=list)
+    _consecutive: int = 0
+    _frozen_violations: int = 0
+    _last_good: Optional[Dict[str, List[Group]]] = None
+    _epoch: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.core.topology import parse_config_label
+        if self.fallback_label is None:
+            self.fallback_label = f"({self.n_slices}:1:1)"
+        parse_config_label(self.fallback_label, self.n_slices)  # fail fast
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def decisions_enabled(self) -> bool:
+        """False once the ladder froze or fell back: stop reconfiguring."""
+        return self.mode in (NORMAL, RETRY)
+
+    def remember_good(self, topology) -> None:
+        """Record the current (validated) grouping as last-known-good."""
+        self._last_good = {
+            level: list(topology.groups(level)) for level in ("l2", "l3")
+        }
+
+    # -- the per-epoch review ----------------------------------------------
+
+    def review(self, topology) -> Optional[TopologyInvariantError]:
+        """Validate the proposed topology; intervene on violation.
+
+        Returns None when the grouping is valid (and records it as the new
+        last-known-good).  On a violation, restores the last-known-good
+        grouping into ``topology``, climbs the ladder, records a
+        :class:`GuardEvent`, and returns the violation — the caller decides
+        whether to re-raise (strict mode) or continue degraded.
+        """
+        self._epoch += 1
+        try:
+            validate_topology(self.n_slices, topology.groups("l2"),
+                              topology.groups("l3"),
+                              allow_non_neighbors=self.allow_non_neighbors)
+        except TopologyInvariantError as violation:
+            self._intervene(topology, violation)
+            return violation
+        self._consecutive = 0
+        if self.mode == RETRY:
+            self.mode = NORMAL
+        self.remember_good(topology)
+        return None
+
+    def record_failure(self, topology, exc: Exception) -> None:
+        """An exception escaped the decision pass: treat it as a violation."""
+        violation = exc if isinstance(exc, TopologyInvariantError) else (
+            TopologyInvariantError("decision", str(exc)))
+        self._intervene(topology, violation)
+
+    def _intervene(self, topology,
+                   violation: TopologyInvariantError) -> None:
+        self._restore(topology)
+        self._consecutive += 1
+        if self.mode == FALLBACK:
+            action = "fallback"
+        elif self.mode == FROZEN:
+            self._frozen_violations += 1
+            if self._frozen_violations > self.max_freeze_violations:
+                self._fall_back(topology)
+                action = "fallback"
+            else:
+                action = "rolled-back"
+        elif self._consecutive > self.max_retries:
+            self.mode = FROZEN
+            action = "froze"
+        else:
+            self.mode = RETRY
+            action = "rolled-back"
+        self.events.append(GuardEvent(epoch=self._epoch, action=action,
+                                      violation=str(violation),
+                                      mode_after=self.mode))
+
+    def _restore(self, topology) -> None:
+        """Reinstate the last-known-good grouping (all-private if none)."""
+        good = self._last_good or {
+            "l2": [(i,) for i in range(self.n_slices)],
+            "l3": [(i,) for i in range(self.n_slices)],
+        }
+        # Bypass set_groups: the *current* state may be arbitrarily corrupt,
+        # and set_groups' own inclusion check compares against it.
+        topology._groups["l3"] = list(good["l3"])
+        topology._groups["l2"] = list(good["l2"])
+        topology.check_inclusion()
+
+    def _fall_back(self, topology) -> None:
+        from repro.core.topology import parse_config_label
+        self.mode = FALLBACK
+        l2_groups, l3_groups = parse_config_label(self.fallback_label,
+                                                  self.n_slices)
+        topology._groups["l3"] = list(l3_groups)
+        topology._groups["l2"] = list(l2_groups)
+        self.remember_good(topology)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def interventions(self) -> int:
+        return len(self.events)

@@ -5,15 +5,34 @@ round-robin into the shared hierarchy, per-core timing accumulates, and the
 system's ``end_epoch`` hook fires (for MorphCache this is the
 reconfiguration point).  Results are collected per epoch so the time-series
 figures (Fig 2(a), Fig 15's per-epoch oracle) fall out directly.
+
+Two resilience hooks thread through the loop (both default to off):
+
+- a :class:`~repro.resilience.faults.FaultPlan` injects deterministic,
+  seeded faults at each epoch boundary *before* any access;
+- ``checkpoint_path`` writes a resumable checkpoint every
+  ``checkpoint_every`` epochs; ``resume=True`` loads it, fast-forward
+  replays the completed epochs (deterministic given the seed) and verifies
+  the rebuilt RNG and cache state against the checkpoint before continuing,
+  so a resumed run is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.cpu.core_model import CoreTimingModel
+from repro.resilience.checkpoint import (
+    epoch_from_json,
+    load_checkpoint,
+    run_fingerprint,
+    save_checkpoint,
+    verify_replay,
+)
+from repro.resilience.errors import CheckpointError
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.sim.workload import Workload
 
 
@@ -51,14 +70,20 @@ class RunResult:
         return sum(e.throughput for e in self.epochs) / len(self.epochs)
 
     def mean_ipcs(self) -> Dict[int, float]:
-        """Per-core IPC averaged over epochs."""
-        if not self.epochs:
-            return {}
-        cores = self.epochs[0].ipcs.keys()
-        return {
-            core: sum(e.ipcs[core] for e in self.epochs) / len(self.epochs)
-            for core in cores
-        }
+        """Per-core IPC averaged over the epochs in which the core ran.
+
+        The core set is the *union* across epochs, and each core averages
+        over its own active epochs only — a core that goes inactive (or
+        joins) mid-run still gets a correct mean instead of a ``KeyError``
+        or a silently dropped entry.
+        """
+        totals: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for e in self.epochs:
+            for core, ipc in e.ipcs.items():
+                totals[core] = totals.get(core, 0.0) + ipc
+                counts[core] = counts.get(core, 0) + 1
+        return {core: totals[core] / counts[core] for core in sorted(totals)}
 
     def throughput_series(self) -> List[float]:
         return [e.throughput for e in self.epochs]
@@ -72,6 +97,10 @@ def simulate(
     epochs: Optional[int] = None,
     accesses_per_core: Optional[int] = None,
     warmup_epochs: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_path=None,
+    checkpoint_every: int = 5,
+    resume: bool = False,
 ) -> RunResult:
     """Run ``workload`` on ``system`` for the configured number of epochs.
 
@@ -80,6 +109,18 @@ def simulate(
     (and let MorphCache take its first reconfiguration steps); they are
     simulated but not recorded, mirroring the paper's warmed-up region of
     interest.
+
+    Args:
+        fault_plan: deterministic fault schedule applied at each epoch
+            boundary (warmup included) before any access.
+        checkpoint_path: when set, write a resumable checkpoint here every
+            ``checkpoint_every`` epochs and after the final epoch.
+        checkpoint_every: checkpoint cadence in (global) epochs.
+        resume: load ``checkpoint_path``, fast-forward replay the completed
+            epochs and verify the rebuilt state against it before
+            continuing.  Raises :class:`~repro.resilience.errors.
+            CheckpointError` if the checkpoint is absent, corrupt, belongs
+            to a different run, or the replay diverges.
     """
     n_epochs = epochs if epochs is not None else config.epochs
     n_accesses = (accesses_per_core if accesses_per_core is not None
@@ -88,9 +129,29 @@ def simulate(
     active = [core for core, thread in enumerate(threads) if thread is not None]
     result = RunResult(workload_name=workload.name,
                        scheme_name=getattr(system, "label", type(system).__name__))
-    previous_misses = system.miss_counts()
+    injector = FaultInjector(fault_plan) if fault_plan else None
 
-    for epoch in range(warmup_epochs + n_epochs):
+    fingerprint = None
+    if checkpoint_path is not None:
+        fingerprint = run_fingerprint(workload, config, result.scheme_name,
+                                      seed, n_epochs, n_accesses, warmup_epochs)
+        if fault_plan:
+            fingerprint["faults"] = repr(fault_plan)
+
+    replay_until = 0  # epochs [0, replay_until) are re-run without recording
+    payload = None
+    if resume:
+        if checkpoint_path is None:
+            raise CheckpointError("resume requires a checkpoint path")
+        payload = load_checkpoint(checkpoint_path, fingerprint)
+        replay_until = int(payload["next_epoch"])
+        result.epochs = [epoch_from_json(e) for e in payload["epochs"]]
+
+    previous_misses = system.miss_counts()
+    total = warmup_epochs + n_epochs
+    for epoch in range(total):
+        if injector is not None:
+            injector.begin_epoch(epoch, system)
         timers = {
             core: CoreTimingModel(config.issue_width,
                                   memory_latency=config.latency.memory)
@@ -112,7 +173,7 @@ def simulate(
 
         label = system.end_epoch()
         current_misses = system.miss_counts()
-        if epoch >= warmup_epochs:
+        if epoch >= replay_until and epoch >= warmup_epochs:
             result.epochs.append(EpochResult(
                 epoch=epoch - warmup_epochs,
                 ipcs={core: timers[core].ipc for core in active},
@@ -123,4 +184,14 @@ def simulate(
                 topology_label=label,
             ))
         previous_misses = current_misses
+
+        if payload is not None and epoch + 1 == replay_until:
+            # Replay complete: prove the rebuilt state matches the
+            # checkpoint before recording a single new epoch.
+            verify_replay(payload, threads, system, checkpoint_path)
+            payload = None
+        if (checkpoint_path is not None and epoch + 1 > replay_until
+                and ((epoch + 1) % checkpoint_every == 0 or epoch + 1 == total)):
+            save_checkpoint(checkpoint_path, fingerprint, epoch + 1,
+                            result.epochs, threads, system)
     return result

@@ -20,6 +20,7 @@ from repro.baselines.pipp import PippSystem
 from repro.baselines.ucp import UcpSystem
 from repro.config import MachineConfig, MorphConfig
 from repro.cpu.cmp import CmpSystem
+from repro.resilience.faults import FaultPlan
 from repro.sim.engine import RunResult, simulate
 from repro.sim.workload import Workload
 
@@ -69,8 +70,16 @@ def run_scheme(
     accesses_per_core: Optional[int] = None,
     warmup_epochs: int = 1,
     morph: Optional[MorphConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_path=None,
+    checkpoint_every: int = 5,
+    resume: bool = False,
 ) -> RunResult:
-    """Build the scheme's system and simulate the workload on it."""
+    """Build the scheme's system and simulate the workload on it.
+
+    ``fault_plan``, ``checkpoint_path``, ``checkpoint_every`` and ``resume``
+    pass straight through to :func:`repro.sim.engine.simulate`.
+    """
     system = build_system(scheme, config, workload, seed=seed, morph=morph)
     result = simulate(
         system,
@@ -80,6 +89,10 @@ def run_scheme(
         epochs=epochs,
         accesses_per_core=accesses_per_core,
         warmup_epochs=warmup_epochs,
+        fault_plan=fault_plan,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     result.scheme_name = scheme
     return result

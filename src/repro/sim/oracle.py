@@ -9,7 +9,7 @@ each measurement interval, mirroring the ACFV's epoch reset.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.caches.hierarchy import HierarchyObserver
 

@@ -14,7 +14,6 @@ A trace file stores, per (thread, epoch): ``lines`` (int64), ``writes``
 
 from __future__ import annotations
 
-import pathlib
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -1,8 +1,7 @@
 """Tests for the DSR baseline (Qureshi, extended to L2+L3)."""
 
-import pytest
 
-from repro.baselines.dsr import PSEL_INIT, PSEL_MAX, DsrLevel, DsrSystem
+from repro.baselines.dsr import PSEL_MAX, DsrLevel, DsrSystem
 from repro.config import TINY
 
 

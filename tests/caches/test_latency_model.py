@@ -1,6 +1,5 @@
 """Tests for latency accounting details of the hierarchy."""
 
-import pytest
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.config import TINY

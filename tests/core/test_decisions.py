@@ -1,6 +1,5 @@
 """Tests for the merge/split decision engine (Sections 2.2-2.4)."""
 
-import pytest
 
 from repro.config import MorphConfig, MsatConfig
 from repro.core.acfv import AcfvBank

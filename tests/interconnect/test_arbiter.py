@@ -106,3 +106,30 @@ class TestTransactions:
         tree = configure(ArbiterTree(8), [(i,) for i in range(8)])
         with pytest.raises(RuntimeError):
             tree.simulate_transactions({0: 0}, max_cycles=10)
+
+
+class TestStalledPorts:
+    def test_stalled_port_never_granted(self):
+        tree = configure(ArbiterTree(8), [(0, 1, 2, 3), (4, 5, 6, 7)])
+        tree.stall_ports([0])
+        acquired = tree.resolve([True] * 8)
+        assert not acquired[0]
+
+    def test_healthy_ports_keep_winning(self):
+        tree = configure(ArbiterTree(8), [(0, 1, 2, 3), (4, 5, 6, 7)])
+        tree.stall_ports([0, 1])
+        acquired = tree.resolve([True] * 8)
+        assert sum(acquired[s] for s in (2, 3)) == 1
+        assert sum(acquired[s] for s in (4, 5, 6, 7)) == 1
+
+    def test_clearing_stall_restores_port(self):
+        tree = configure(ArbiterTree(8), [(0, 1, 2, 3), (4, 5, 6, 7)])
+        tree.stall_ports([0])
+        tree.stall_ports([])
+        done = tree.simulate_transactions({0: 0})
+        assert 0 in done
+
+    def test_out_of_range_port_rejected(self):
+        tree = configure(ArbiterTree(8), [(i,) for i in range(8)])
+        with pytest.raises(ValueError):
+            tree.stall_ports([99])

@@ -79,3 +79,29 @@ def test_property_domains_partition_segments(k):
     bus.configure_groups([tuple(range(i, i + 2)) for i in range(0, n, 2)])
     flattened = [s for domain in bus.domains() for s in domain]
     assert flattened == list(range(n))
+
+
+class TestDroppedGrants:
+    def test_dropped_requester_loses_grant(self):
+        bus = SegmentedBus(8)
+        bus.configure_groups([(0, 1, 2, 3), (4, 5, 6, 7)])
+        bus.drop_grants([0])
+        assert bus.grant_parallel([0, 1, 4]) == [1, 4]
+
+    def test_domain_stays_free_for_next_requester(self):
+        bus = SegmentedBus(8)
+        bus.configure_groups([(0, 1, 2, 3), (4, 5, 6, 7)])
+        bus.drop_grants([0, 1])
+        assert bus.grant_parallel([0, 1, 2]) == [2]
+
+    def test_healing_restores_grants(self):
+        bus = SegmentedBus(8)
+        bus.configure_groups([(0, 1, 2, 3), (4, 5, 6, 7)])
+        bus.drop_grants([0])
+        bus.drop_grants([])
+        assert bus.grant_parallel([0, 4]) == [0, 4]
+
+    def test_out_of_range_segment_rejected(self):
+        bus = SegmentedBus(8)
+        with pytest.raises(ValueError):
+            bus.drop_grants([42])

@@ -1,0 +1,212 @@
+"""Tests for fault plans, the spec parser and the injector."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import TINY
+from repro.cpu.cmp import CmpSystem
+from repro.resilience.errors import ConfigError, FaultInjectedError
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    parse_fault_spec,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FaultRule(kind="meteor-strike", at=1)
+
+    def test_needs_at_or_every(self):
+        with pytest.raises(ConfigError, match="at/every"):
+            FaultRule(kind="flip-acfv")
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ConfigError, match="level"):
+            FaultRule(kind="disable-slice", at=1, level="l9")
+
+    def test_one_shot_fires_once(self):
+        rule = FaultRule(kind="flip-acfv", at=3)
+        assert [e for e in range(6) if rule.fires_at(e)] == [3]
+
+    def test_periodic_fires_from_start(self):
+        rule = FaultRule(kind="disable-slice", every=4, start=2)
+        assert [e for e in range(12) if rule.fires_at(e)] == [2, 6, 10]
+
+
+class TestFaultPlan:
+    def test_events_at_is_pure(self):
+        plan = FaultPlan.random_plan(rate=0.5, seed=9)
+        for epoch in range(20):
+            assert plan.events_at(epoch) == plan.events_at(epoch)
+
+    def test_random_plan_seed_changes_schedule(self):
+        a = FaultPlan.random_plan(rate=0.5, seed=1)
+        b = FaultPlan.random_plan(rate=0.5, seed=2)
+        schedule_a = [bool(a.events_at(e)) for e in range(40)]
+        schedule_b = [bool(b.events_at(e)) for e in range(40)]
+        assert schedule_a != schedule_b
+
+    def test_periodic_constructor(self):
+        plan = FaultPlan.periodic("bus-stall", every=5, duration=2)
+        assert plan.events_at(0)[0].kind == "bus-stall"
+        assert not plan.events_at(3)
+        assert plan.events_at(5)[0].duration == 2
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan.periodic("flip-acfv", every=1)
+
+
+class TestParseFaultSpec:
+    def test_full_grammar(self):
+        plan = parse_fault_spec(
+            "disable-slice:every=10:level=l3:duration=2,"
+            "flip-acfv:at=5:bits=8,seed=7,name=demo")
+        assert plan.seed == 7
+        assert plan.name == "demo"
+        assert len(plan.rules) == 2
+        assert plan.rules[0].every == 10
+        assert plan.rules[0].level == "l3"
+        assert plan.rules[1].bits == 8
+
+    def test_random_clause(self):
+        plan = parse_fault_spec("random:rate=0.25:kinds=flip-acfv+bus-stall")
+        assert plan.rules[0].rate == 0.25
+        assert plan.rules[0].kinds == ("flip-acfv", "bus-stall")
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ConfigError, match="faults"):
+            parse_fault_spec("flip-acfv:at=1:flavour=spicy")
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ConfigError, match="every"):
+            parse_fault_spec("disable-slice:every=soon")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            parse_fault_spec("bogus:at=1")
+
+
+class TestFaultInjector:
+    def make_system(self):
+        return CmpSystem(TINY)
+
+    def test_flip_acfv_changes_vector(self):
+        system = self.make_system()
+        plan = FaultPlan.periodic("flip-acfv", every=1, level="l2",
+                                  target=0, bits=3, seed=4)
+        injector = FaultInjector(plan)
+        before = system.controller.bank.acfv("l2", 0).as_int()
+        injector.begin_epoch(0, system)
+        assert system.controller.bank.acfv("l2", 0).as_int() != before
+        assert injector.injected == 1
+
+    def test_disable_slice_flushes_and_recovers(self):
+        system = self.make_system()
+        plan = FaultPlan(rules=(FaultRule(kind="disable-slice", at=0,
+                                          level="l3", target=2, duration=1),))
+        injector = FaultInjector(plan)
+        injector.begin_epoch(0, system)
+        assert system.hierarchy.disabled_slices("l3") == {2}
+        assert system.hierarchy.l3s[2].occupancy() == 0
+        injector.begin_epoch(1, system)  # duration elapsed: back online
+        assert system.hierarchy.disabled_slices("l3") == set()
+
+    def test_system_progresses_with_slice_disabled(self):
+        system = self.make_system()
+        plan = FaultPlan(rules=(FaultRule(kind="disable-slice", at=0,
+                                          level="l3", target=0, duration=99),))
+        injector = FaultInjector(plan)
+        injector.begin_epoch(0, system)
+        for line in range(200):
+            latency = system.access(0, line, False)
+            assert latency > 0
+        system.end_epoch()
+        assert system.hierarchy.l3s[0].occupancy() == 0  # stays offline
+
+    def test_disabling_every_slice_raises(self):
+        system = self.make_system()
+        rules = tuple(FaultRule(kind="disable-slice", at=0, level="l2",
+                                target=s, duration=5)
+                      for s in range(TINY.cores))
+        injector = FaultInjector(FaultPlan(rules=rules))
+        with pytest.raises(FaultInjectedError, match="every"):
+            injector.begin_epoch(0, system)
+
+    def test_out_of_range_target_raises(self):
+        system = self.make_system()
+        plan = FaultPlan(rules=(FaultRule(kind="disable-slice", at=0,
+                                          target=99),))
+        with pytest.raises(FaultInjectedError, match="out of range"):
+            FaultInjector(plan).begin_epoch(0, system)
+
+    def test_bus_stall_penalty_window(self):
+        system = self.make_system()
+        plan = FaultPlan(rules=(FaultRule(kind="bus-stall", at=1, duration=2,
+                                          penalty=33),))
+        injector = FaultInjector(plan)
+        injector.begin_epoch(0, system)
+        assert system.hierarchy.bus_penalty == 0
+        injector.begin_epoch(1, system)
+        assert system.hierarchy.bus_penalty == 33
+        injector.begin_epoch(2, system)
+        assert system.hierarchy.bus_penalty == 33
+        injector.begin_epoch(3, system)
+        assert system.hierarchy.bus_penalty == 0
+
+    def test_corrupt_topology_breaks_an_invariant(self):
+        from repro.resilience.errors import TopologyInvariantError
+        from repro.resilience.guards import validate_topology
+
+        system = self.make_system()
+        plan = FaultPlan(rules=(FaultRule(kind="corrupt-topology", at=0),),
+                         seed=3)
+        FaultInjector(plan).begin_epoch(0, system)
+        topology = system.controller.topology
+        with pytest.raises(TopologyInvariantError):
+            validate_topology(TINY.cores, topology.groups("l2"),
+                              topology.groups("l3"))
+
+    def test_injector_replay_reproduces_random_targets(self):
+        plan = FaultPlan.periodic("disable-slice", every=2, level="l2",
+                                  duration=1, seed=13)
+        observed = []
+        for _ in range(2):
+            system = self.make_system()
+            injector = FaultInjector(plan)
+            for epoch in range(6):
+                injector.begin_epoch(epoch, system)
+            observed.append([(e.epoch, e.kind) for e in injector.log])
+        assert observed[0] == observed[1]
+
+
+class TestHierarchyFaultHooks:
+    def test_all_kinds_are_distinct(self):
+        assert len(set(FAULT_KINDS)) == len(FAULT_KINDS)
+
+    def test_set_faulted_slices_validates_range(self):
+        hierarchy = CacheHierarchy(TINY)
+        with pytest.raises(FaultInjectedError):
+            hierarchy.set_faulted_slices("l2", {77})
+
+    def test_cannot_disable_all_slices(self):
+        hierarchy = CacheHierarchy(TINY)
+        with pytest.raises(FaultInjectedError):
+            hierarchy.set_faulted_slices("l3", set(range(TINY.cores)))
+
+    def test_inclusion_survives_disable_enable_cycle(self):
+        hierarchy = CacheHierarchy(TINY)
+        for line in range(300):
+            hierarchy.access(line % TINY.cores, line, False)
+        hierarchy.set_faulted_slices("l3", {1, 5})
+        for line in range(300, 600):
+            hierarchy.access(line % TINY.cores, line, False)
+        hierarchy.check_inclusion()
+        hierarchy.set_faulted_slices("l3", set())
+        for line in range(600, 900):
+            hierarchy.access(line % TINY.cores, line, False)
+        hierarchy.check_inclusion()

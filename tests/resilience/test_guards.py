@@ -1,0 +1,175 @@
+"""Tests for topology invariant validation and the degradation ladder."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.config import TINY
+from repro.core.controller import MorphCacheController
+from repro.core.topology import TopologyState, parse_config_label
+from repro.resilience.errors import TopologyInvariantError
+from repro.resilience.guards import (
+    FALLBACK,
+    FROZEN,
+    NORMAL,
+    RETRY,
+    TopologyGuard,
+    validate_topology,
+)
+
+
+def private(n):
+    return [(i,) for i in range(n)]
+
+
+class TestValidateTopology:
+    def test_accepts_all_private(self):
+        validate_topology(4, private(4), private(4))
+
+    def test_accepts_static_labels(self):
+        for label in ("(16:1:1)", "(8:2:1)", "(4:2:2)", "(1:1:16)"):
+            l2, l3 = parse_config_label(label, 16)
+            validate_topology(16, l2, l3)
+
+    def test_rejects_duplicated_slice(self):
+        with pytest.raises(TopologyInvariantError) as err:
+            validate_topology(4, [(0, 1), (1, 2, 3)], private(4))
+        assert err.value.invariant == "partition"
+
+    def test_rejects_orphaned_slice(self):
+        with pytest.raises(TopologyInvariantError) as err:
+            validate_topology(4, [(0, 1), (2,)], private(4))
+        assert err.value.invariant == "partition"
+
+    def test_rejects_out_of_range_slice(self):
+        with pytest.raises(TopologyInvariantError) as err:
+            validate_topology(4, [(0, 1), (2, 9)], private(4))
+        assert err.value.invariant == "partition"
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(TopologyInvariantError):
+            validate_topology(4, [(0, 1), (2, 3), ()], private(4))
+
+    def test_rejects_inclusion_violation(self):
+        # L2 group (1, 2) straddles L3 groups (0, 1) and (2, 3).
+        with pytest.raises(TopologyInvariantError) as err:
+            validate_topology(4, [(0,), (1, 2), (3,)], [(0, 1), (2, 3)])
+        assert err.value.invariant == "inclusion"
+
+    def test_rejects_non_contiguous_group(self):
+        with pytest.raises(TopologyInvariantError) as err:
+            validate_topology(4, [(0, 2), (1,), (3,)], [(0, 1, 2, 3)])
+        assert err.value.invariant == "connectivity"
+
+    def test_non_neighbors_extension_allows_gaps(self):
+        validate_topology(4, [(0, 2), (1,), (3,)], [(0, 1, 2, 3)],
+                          allow_non_neighbors=True)
+
+
+class TestTopologyGuard:
+    def make_topology(self, n=4):
+        return TopologyState(n)
+
+    def corrupt(self, topology):
+        topology._groups["l2"][0] = (0, 1)  # duplicate slice 1
+
+    def test_valid_review_remembers_good(self):
+        guard = TopologyGuard(n_slices=4)
+        topology = self.make_topology()
+        assert guard.review(topology) is None
+        assert guard.mode == NORMAL
+        assert guard._last_good is not None
+
+    def test_violation_rolls_back(self):
+        guard = TopologyGuard(n_slices=4)
+        topology = self.make_topology()
+        guard.review(topology)
+        self.corrupt(topology)
+        violation = guard.review(topology)
+        assert violation is not None
+        assert guard.mode == RETRY
+        assert topology.groups("l2") == private(4)
+        topology.check_inclusion()
+
+    def test_recovery_returns_to_normal(self):
+        guard = TopologyGuard(n_slices=4)
+        topology = self.make_topology()
+        guard.review(topology)
+        self.corrupt(topology)
+        guard.review(topology)
+        assert guard.mode == RETRY
+        assert guard.review(topology) is None  # rolled-back state is valid
+        assert guard.mode == NORMAL
+
+    def test_ladder_freezes_after_max_retries(self):
+        guard = TopologyGuard(n_slices=4, max_retries=2)
+        topology = self.make_topology()
+        guard.review(topology)
+        for _ in range(3):
+            self.corrupt(topology)
+            guard.review(topology)
+        assert guard.mode == FROZEN
+        assert not guard.decisions_enabled
+
+    def test_ladder_falls_back_while_frozen(self):
+        guard = TopologyGuard(n_slices=4, max_retries=1,
+                              max_freeze_violations=1)
+        topology = self.make_topology()
+        guard.review(topology)
+        for _ in range(5):
+            self.corrupt(topology)
+            guard.review(topology)
+        assert guard.mode == FALLBACK
+        # Default fallback is (n:1:1), the all-shared static baseline.
+        assert topology.groups("l2") == [(0, 1, 2, 3)]
+        assert guard.events[-1].action == "fallback"
+
+    def test_record_failure_wraps_plain_exception(self):
+        guard = TopologyGuard(n_slices=4)
+        topology = self.make_topology()
+        guard.review(topology)
+        guard.record_failure(topology, RuntimeError("decision blew up"))
+        assert guard.mode == RETRY
+        assert "decision blew up" in guard.events[-1].violation
+
+    def test_intervention_count(self):
+        guard = TopologyGuard(n_slices=4)
+        topology = self.make_topology()
+        guard.review(topology)
+        assert guard.interventions == 0
+        self.corrupt(topology)
+        guard.review(topology)
+        assert guard.interventions == 1
+
+    def test_bad_fallback_label_fails_fast(self):
+        with pytest.raises(ValueError):
+            TopologyGuard(n_slices=4, fallback_label="(16:1:1)")
+
+
+class TestGuardedController:
+    def test_controller_survives_corrupted_topology(self):
+        controller = MorphCacheController(TINY)
+        hierarchy = CacheHierarchy(TINY)
+        controller.attach(hierarchy)
+        for line in range(400):
+            hierarchy.access(line % TINY.cores, line, False)
+        # Corrupt the topology the way a controller SRAM fault would.
+        controller.topology._groups["l2"][0] = (0, 1)
+        controller.end_epoch()
+        # The guard rolled back; the hierarchy only ever saw valid groupings.
+        validate_topology(TINY.cores, hierarchy.l2_groups, hierarchy.l3_groups)
+        assert controller.guard.interventions == 1
+        hierarchy.check_inclusion()
+
+    def test_frozen_controller_stops_reconfiguring(self):
+        controller = MorphCacheController(TINY)
+        hierarchy = CacheHierarchy(TINY)
+        controller.attach(hierarchy)
+        for _ in range(controller.guard.max_retries + 2):
+            controller.topology._groups["l2"][0] = (0, 1)
+            controller.end_epoch()
+        assert controller.guard.mode == FROZEN
+        events_before = len(controller.events)
+        for line in range(400):
+            hierarchy.access(line % TINY.cores, line, False)
+        controller.end_epoch()
+        assert len(controller.events) == events_before

@@ -74,6 +74,20 @@ class TestRunResult:
         ])
         assert result.mean_ipcs() == {0: pytest.approx(2.0)}
 
+    def test_mean_ipcs_with_core_inactive_mid_run(self):
+        """Regression: a core that goes inactive (or joins late) must still
+        average over its own epochs — the old implementation keyed on epoch
+        0's core set and crashed or dropped cores."""
+        result = RunResult("w", "s", epochs=[
+            EpochResult(0, {0: 1.0, 1: 2.0}, {}, None),
+            EpochResult(1, {0: 3.0}, {}, None),          # core 1 inactive
+            EpochResult(2, {0: 5.0, 2: 4.0}, {}, None),  # core 2 joins late
+        ])
+        means = result.mean_ipcs()
+        assert means == {0: pytest.approx(3.0), 1: pytest.approx(2.0),
+                         2: pytest.approx(4.0)}
+        assert list(means) == [0, 1, 2]  # sorted core order
+
     def test_empty_run(self):
         result = RunResult("w", "s")
         assert result.mean_throughput == 0.0

@@ -49,6 +49,60 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_with_faults(self, capsys):
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "2",
+                     "--faults", "disable-slice:every=2:level=l3,seed=3"])
+        assert code == 0
+        assert "fault plan" in capsys.readouterr().out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "ck.json")
+        args = ["run", "--workload", "MIX 01", "--preset", "tiny",
+                "--epochs", "2", "--checkpoint", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestExitCodes:
+    def test_bad_fault_spec_exits_3(self, capsys):
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--faults", "not-a-kind:at=0"])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_6(self, capsys):
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--resume"])
+        assert code == 6
+
+    def test_resume_from_missing_file_exits_6(self, tmp_path, capsys):
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1",
+                     "--checkpoint", str(tmp_path / "absent.json"),
+                     "--resume"])
+        assert code == 6
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_fault_injected_error_exits_5(self, capsys):
+        spec = ",".join(f"disable-slice:at=0:level=l2:target={s}:duration=9"
+                        for s in range(16))
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--faults", spec])
+        assert code == 5
+
+    def test_exit_codes_are_distinct(self):
+        from repro.resilience.errors import (
+            CheckpointError, ConfigError, FaultInjectedError, ReproError,
+            TopologyInvariantError)
+        codes = [cls.exit_code for cls in
+                 (ReproError, ConfigError, TopologyInvariantError,
+                  FaultInjectedError, CheckpointError)]
+        assert len(set(codes)) == len(codes)
+        assert all(code != 0 for code in codes)
+
 
 class TestRendering:
     def test_topology_brackets_groups(self):

@@ -1,6 +1,5 @@
 """Tests for the machine configuration (Table 3) and scale presets."""
 
-import dataclasses
 
 import pytest
 
@@ -168,3 +167,54 @@ class TestFormatTable3:
         assert "1024 KB/slice" in text
         assert "300 cycle" in text
         assert "4 way issue superscalar" in text
+
+
+class TestConfigErrorFieldNames:
+    """Construction-time validation raises ConfigError naming the field."""
+
+    def test_configerror_is_a_valueerror(self):
+        from repro.resilience.errors import ConfigError, ReproError
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+
+    def test_geometry_names_sets(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="sets") as err:
+            CacheGeometry(sets=3, ways=4)
+        assert err.value.field == "sets"
+
+    def test_geometry_names_ways(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="ways") as err:
+            CacheGeometry(sets=4, ways=3)
+        assert err.value.field == "ways"
+
+    def test_latency_names_offending_field(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="l3_local_hit"):
+            LatencyModel(l3_local_hit=-1)
+
+    def test_msat_names_bounds(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="high/low"):
+            MsatConfig(high=20.0, low=30.0)
+
+    def test_machine_names_cores(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="cores"):
+            MachineConfig(cores=5)
+
+    def test_machine_names_epoch_length(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="accesses_per_core_per_epoch"):
+            MachineConfig(accesses_per_core_per_epoch=0)
+
+    def test_machine_names_epochs(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="epochs"):
+            MachineConfig(epochs=0)
+
+    def test_morph_names_hash(self):
+        from repro.resilience.errors import ConfigError
+        with pytest.raises(ConfigError, match="hash_name"):
+            MorphConfig(hash_name="sha512")

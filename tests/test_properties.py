@@ -4,12 +4,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.caches.hierarchy import CacheHierarchy
-from repro.config import TINY, MsatConfig
+from repro.config import TINY
 from repro.core.acfv import Acfv, AcfvBank
 from repro.core.controller import MorphCacheController
 from repro.core.topology import TopologyState, parse_config_label
 from repro.interconnect.arbiter import ArbiterTree
 from repro.metrics import fair_speedup, weighted_speedup
+from repro.resilience.faults import FAULT_KINDS, FaultInjector, FaultPlan
+from repro.resilience.guards import validate_topology
+from repro.sim.experiment import run_scheme
+from repro.sim.workload import Workload
+from repro.workloads import mix_by_name
 
 
 @st.composite
@@ -132,3 +137,61 @@ def test_controller_epochs_never_break_inclusion(accesses):
         controller.end_epoch()
         hierarchy.check_inclusion()
         controller.topology.check_inclusion()
+
+
+@st.composite
+def fault_plans(draw):
+    """Random multi-rule fault plans over every fault kind."""
+    rules = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(FAULT_KINDS))
+        rules.append(dict(
+            kind=kind,
+            every=draw(st.integers(1, 4)),
+            start=draw(st.integers(0, 2)),
+            duration=draw(st.integers(1, 3)),
+            level=draw(st.sampled_from(["l2", "l3"])),
+        ))
+    seed = draw(st.integers(0, 1_000))
+    from repro.resilience.faults import FaultRule
+    return FaultPlan(rules=tuple(FaultRule(**r) for r in rules), seed=seed)
+
+
+@given(fault_plans(),
+       st.lists(st.tuples(st.integers(0, 15), st.integers(0, 800),
+                          st.booleans()),
+                min_size=100, max_size=200))
+@settings(max_examples=10, deadline=None)
+def test_faulted_hierarchy_only_ever_sees_valid_topologies(plan, accesses):
+    """Under any fault plan, no invalid grouping reaches the hierarchy and
+    inclusion holds at every epoch boundary."""
+    from repro.cpu.cmp import CmpSystem
+    system = CmpSystem(TINY)
+    injector = FaultInjector(plan)
+    for epoch in range(4):
+        injector.begin_epoch(epoch, system)
+        for core, line, write in accesses:
+            system.access(core, line, write)
+        system.end_epoch()
+        validate_topology(TINY.cores, system.hierarchy.l2_groups,
+                          system.hierarchy.l3_groups)
+        system.hierarchy.check_inclusion()
+
+
+@given(st.integers(0, 50), st.integers(2, 5))
+@settings(max_examples=5, deadline=None)
+def test_resume_reproduces_exact_epoch_series(tmp_path_factory, seed, epochs):
+    """A checkpointed-and-resumed run equals the uninterrupted run exactly."""
+    config = TINY.with_(accesses_per_core_per_epoch=150)
+    workload = Workload.from_mix(mix_by_name("MIX 06"))
+    path = tmp_path_factory.mktemp("ck") / "ck.json"
+    reference = run_scheme("morphcache", workload, config, seed=seed,
+                           epochs=epochs)
+    run_scheme("morphcache", workload, config, seed=seed, epochs=epochs,
+               checkpoint_path=path, checkpoint_every=2)
+    resumed = run_scheme("morphcache", workload, config, seed=seed,
+                         epochs=epochs, checkpoint_path=path, resume=True)
+    assert [(e.epoch, e.ipcs, e.misses, e.topology_label)
+            for e in resumed.epochs] == \
+           [(e.epoch, e.ipcs, e.misses, e.topology_label)
+            for e in reference.epochs]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import TINY, CacheGeometry
+from repro.config import TINY
 from repro.workloads.synthetic import (
     SHARED_BASE,
     FootprintModel,

@@ -69,7 +69,6 @@ class TestRecordedThread:
 
 class TestRecordAndSimulate:
     def test_recorded_workload_replays_identically(self, tmp_path):
-        from repro.sim.engine import simulate
         from repro.cpu.cmp import CmpSystem
 
         config = TINY.with_(accesses_per_core_per_epoch=150)

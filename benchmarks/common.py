@@ -15,12 +15,14 @@ runs, which keeps the whole suite tractable.
 
 from __future__ import annotations
 
+import math
 import pathlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SMALL, MachineConfig, MorphConfig
 from repro.sim.engine import RunResult, simulate
 from repro.sim.experiment import build_system
+from repro.sim.parallel import RunSpec, resolve_jobs, run_many
 from repro.sim.workload import Workload
 from repro.workloads import MIXES, PARSEC_BENCHMARKS
 
@@ -73,6 +75,34 @@ def system_for(scheme: str, workload: Workload, epochs: Optional[int] = None,
     return _SYSTEM_CACHE[key]
 
 
+def run_batch(pairs: Sequence[Tuple[str, Workload]],
+              epochs: Optional[int] = None, seed: int = SEED,
+              morph: Optional[MorphConfig] = None,
+              config: Optional[MachineConfig] = None,
+              jobs: Optional[int] = None) -> List[RunResult]:
+    """Run many (scheme, workload) pairs, optionally across processes.
+
+    Worker count comes from ``jobs``, else the ``REPRO_JOBS`` environment
+    variable, else 1 — with one worker this is exactly a loop over
+    :func:`run`.  Cached runs are reused; fresh results land in the same
+    session cache, so a parallel warm-up benefits every later :func:`run`
+    call.  Results come back in the order of ``pairs``.
+    """
+    config = config or BENCH_CONFIG
+    keys = [(scheme, workload.name, seed, epochs, morph, config)
+            for scheme, workload in pairs]
+    missing = [i for i, key in enumerate(keys) if key not in _RUN_CACHE]
+    if missing and resolve_jobs(jobs) > 1:
+        specs = [RunSpec(scheme=pairs[i][0], workload=pairs[i][1],
+                         config=config, seed=seed, epochs=epochs, morph=morph)
+                 for i in missing]
+        for i, result in zip(missing, run_many(specs, jobs=jobs)):
+            _RUN_CACHE[keys[i]] = result
+    return [run(scheme, workload, epochs=epochs, seed=seed, morph=morph,
+                config=config)
+            for scheme, workload in pairs]
+
+
 def mix_workloads() -> List[Workload]:
     """All 12 Table 5 mixes as workloads."""
     return [Workload.from_mix(mix) for mix in MIXES]
@@ -91,10 +121,15 @@ def normalized(results: Dict[str, RunResult], baseline: str = BASELINE) -> Dict[
 
 
 def geometric_mean(values: List[float]) -> float:
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values)) if values else 0.0
+    """Geometric mean computed in the log domain.
+
+    The naive running product under/overflows for long value lists (and
+    loses precision long before that); summing logs is exact to within one
+    rounding per element.  The empty list keeps returning 0.0.
+    """
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
 
 
 def report(name: str, text: str) -> None:

@@ -6,11 +6,27 @@ bits stripped) because the ACFV hardware of Section 2.1 hashes tags.
 
 Entries carry a monotonic access stamp supplied by the hierarchy; stamps
 implement true LRU and order copies during lazy invalidation after a merge.
+
+Hot-path layout: every set is backed by **two** structures kept in lockstep —
+
+- a way *list* (``_data``) in insertion order, which fixes the iteration
+  order of ``entries()``/``resident_lines()``/``flush()`` (checkpoint state
+  digests hash that order, so it must never change) and carries the way
+  indices the PLRU policy operates on;
+- a ``line -> Entry`` *dict* (``_index``) giving O(1) ``lookup``,
+  ``invalidate`` and ``__contains__`` instead of an O(ways) scan.
+
+Under true LRU the dict is additionally kept in **recency order** (a hit
+re-appends its entry), so the LRU victim is simply the first value — O(1)
+instead of a ``min()`` scan over the set.  This is exactly equivalent to
+min-by-stamp because the hierarchy's stamps are strictly monotonic: recency
+order and stamp order coincide, and stamps within a set are unique (each
+access touches or inserts at most one entry per slice).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.caches.replacement import make_policy
 
@@ -38,6 +54,10 @@ class CacheSlice:
     hierarchy composes slices into groups.  All mutating operations return
     enough information for the caller to maintain inclusion (the evicted
     entry, if any).
+
+    Stamps passed to ``insert``/``touch`` must be monotonically increasing
+    (as the hierarchy's global counter guarantees); the O(1) LRU victim
+    relies on recency order and stamp order coinciding.
     """
 
     def __init__(self, sets: int, ways: int, replacement: str = "lru",
@@ -54,6 +74,7 @@ class CacheSlice:
         self.policy = make_policy(replacement, sets, ways)
         self._lru = replacement == "lru"
         self._data: List[List[Entry]] = [[] for _ in range(sets)]
+        self._index: List[Dict[int, Entry]] = [{} for _ in range(sets)]
 
     # -- address helpers ---------------------------------------------------
 
@@ -69,16 +90,17 @@ class CacheSlice:
 
     def lookup(self, line: int) -> Optional[Entry]:
         """Return the entry holding ``line``, or None.  Does not touch LRU."""
-        for entry in self._data[line & self._set_mask]:
-            if entry.line == line:
-                return entry
-        return None
+        return self._index[line & self._set_mask].get(line)
 
     def touch(self, entry: Entry, stamp: int) -> None:
         """Record a hit on ``entry`` at time ``stamp``."""
         entry.stamp = stamp
         if self._lru:
-            return  # true LRU is fully captured by the stamp
+            # Move to the recency tail so the head stays the LRU victim.
+            bucket = self._index[entry.line & self._set_mask]
+            del bucket[entry.line]
+            bucket[entry.line] = entry
+            return
         set_index = entry.line & self._set_mask
         way = self._data[set_index].index(entry)
         self.policy.touch(set_index, way)
@@ -95,15 +117,19 @@ class CacheSlice:
         """
         set_index = line & self._set_mask
         ways = self._data[set_index]
+        bucket = self._index[set_index]
         victim: Optional[Entry] = None
         if len(ways) >= self.ways:
             if self._lru:
-                victim_way = min(range(len(ways)), key=lambda i: ways[i].stamp)
+                victim = next(iter(bucket.values()))
             else:
                 victim_way = self.policy.victim(set_index, [e.stamp for e in ways])
-            victim = ways.pop(victim_way)
+                victim = ways[victim_way]
+            ways.remove(victim)
+            del bucket[victim.line]
         entry = Entry(line, owner, dirty, stamp)
         ways.append(entry)
+        bucket[line] = entry
         if not self._lru:
             self.policy.touch(set_index, len(ways) - 1)
         return victim
@@ -115,25 +141,24 @@ class CacheSlice:
         if len(ways) < self.ways:
             return None
         if self._lru:
-            return min(ways, key=lambda e: e.stamp)
+            return next(iter(self._index[set_index].values()))
         return ways[self.policy.victim(set_index, [e.stamp for e in ways])]
 
     def invalidate(self, line: int) -> Optional[Entry]:
         """Remove ``line`` from the slice; return the entry if it was present."""
-        ways = self._data[line & self._set_mask]
-        for i, entry in enumerate(ways):
-            if entry.line == line:
-                return ways.pop(i)
-        return None
+        entry = self._index[line & self._set_mask].pop(line, None)
+        if entry is not None:
+            self._data[line & self._set_mask].remove(entry)
+        return entry
 
     def invalidate_entry(self, entry: Entry) -> bool:
         """Remove a specific entry object (used by lazy invalidation)."""
-        ways = self._data[entry.line & self._set_mask]
-        try:
-            ways.remove(entry)
-            return True
-        except ValueError:
+        bucket = self._index[entry.line & self._set_mask]
+        if bucket.get(entry.line) is not entry:
             return False
+        del bucket[entry.line]
+        self._data[entry.line & self._set_mask].remove(entry)
+        return True
 
     # -- introspection -----------------------------------------------------
 
@@ -153,10 +178,11 @@ class CacheSlice:
         """Invalidate everything; return the removed entries."""
         removed = [entry for ways in self._data for entry in ways]
         self._data = [[] for _ in range(self.sets)]
+        self._index = [{} for _ in range(self.sets)]
         return removed
 
     def __contains__(self, line: int) -> bool:
-        return self.lookup(line) is not None
+        return line in self._index[line & self._set_mask]
 
     def __repr__(self) -> str:
         return (f"CacheSlice(id={self.slice_id}, sets={self.sets}, "

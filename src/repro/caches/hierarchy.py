@@ -18,12 +18,22 @@ the current grouping of slices at each level (``set_topology``) and provides:
 An observer receives fill/hit/evict events per slice — the MorphCache
 controller attaches its ACFVs there, and the oracle footprint estimator of
 Figure 5 uses the same interface.
+
+Hot-path architecture (see DESIGN.md §6): the access path is driven by
+per-level :class:`_LevelBinding` objects precomputed at ``set_topology``
+time, so no per-access work re-resolves ``level == L2`` branches, config
+attributes, or stats dict lookups.  Singleton (private, local) groups take
+a fast path that skips the multi-hit collection/sort/lazy-invalidation
+machinery entirely, and observer dispatch is skipped per hook when the
+installed observer inherits the default no-op implementation.  All of this
+is bit-identical to the straightforward path — the golden-determinism test
+and checkpoint digests pin that down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.caches.cache import CacheSlice, Entry
 from repro.caches.stats import HierarchyStats
@@ -48,16 +58,41 @@ class HierarchyObserver:
         """``tag`` left slice ``slice_id`` (replacement or invalidation)."""
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of one memory reference."""
+class AccessResult(NamedTuple):
+    """Outcome of one memory reference.
+
+    A NamedTuple rather than a dataclass: one is constructed per access,
+    and tuple construction is several times cheaper.
+    """
 
     latency: int
+
     level: str
     """Where the reference was served: ``l1``, ``l2``, ``l3`` or ``mem``."""
 
     remote: bool
     """True when served by a non-local slice of a merged group."""
+
+
+@dataclass
+class _LevelBinding:
+    """Everything the access path needs about one level, pre-resolved.
+
+    Rebuilt whenever the topology or the fault-disabled set changes; the
+    hot path only ever indexes into these lists.
+    """
+
+    name: str
+    slices: List[CacheSlice]
+    stats: List  # SliceStats per slice id
+    local_hit: int
+    merged_hit: int
+    orders: List[Tuple[int, ...]]
+    """Per-core search order (local slice first, then by distance)."""
+
+    fast: List[Optional[CacheSlice]]
+    """Per-core: the core's own slice when its order is exactly
+    ``(core,)`` — the private-topology fast path — else None."""
 
 
 class CacheHierarchy:
@@ -71,7 +106,6 @@ class CacheHierarchy:
     ) -> None:
         self.config = config
         self.charge_remote_latency = charge_remote_latency
-        self.observer = observer or HierarchyObserver()
         n = config.cores
         rep = config.replacement
         self.l1s = [CacheSlice(config.l1.sets, config.l1.ways, rep, i) for i in range(n)]
@@ -80,10 +114,19 @@ class CacheHierarchy:
         self.l3s = [CacheSlice(config.l3_slice.sets, config.l3_slice.ways, rep, i)
                     for i in range(n)]
         self.stats = HierarchyStats.for_machine(n)
+        self._core_stats = [self.stats.cores[i] for i in range(n)]
+        # config is frozen: hoist the latency chain and the hot constants.
+        self._lat = lat = config.latency
+        self._lat_l1 = lat.l1_hit
+        self._lat_l2_local = lat.l2_local_hit
+        self._lat_l3_local = lat.l3_local_hit
+        self._lat_mem = lat.memory
         self._stamp = 0
         self.bus_penalty = 0
         """Extra cycles a remote (merged) hit pays while a bus fault stalls
         the arbiter; set by the fault injector, 0 in healthy epochs."""
+
+        self.observer = observer or HierarchyObserver()
 
         # Slices taken offline by injected faults, per level.
         self._disabled: Dict[str, Set[int]] = {L2: set(), L3: set()}
@@ -94,9 +137,34 @@ class CacheHierarchy:
         self._l3_groups: List[Tuple[int, ...]] = []
         self._l2_group_of: List[Tuple[int, ...]] = []
         self._l3_group_of: List[Tuple[int, ...]] = []
-        self._l2_search_order: List[Tuple[int, ...]] = []
-        self._l3_search_order: List[Tuple[int, ...]] = []
+        self._l2_binding = _LevelBinding(
+            L2, self.l2s, [self.stats.l2_slices[i] for i in range(n)],
+            lat.l2_local_hit, lat.l2_merged_hit, [()] * n, [None] * n)
+        self._l3_binding = _LevelBinding(
+            L3, self.l3s, [self.stats.l3_slices[i] for i in range(n)],
+            lat.l3_local_hit, lat.l3_merged_hit, [()] * n, [None] * n)
+        self._l2_slice_stats = self._l2_binding.stats
+        self._l3_slice_stats = self._l3_binding.stats
         self.set_topology(private, list(private))
+
+    # -- observer dispatch flags -------------------------------------------
+
+    @property
+    def observer(self) -> HierarchyObserver:
+        return self._observer
+
+    @observer.setter
+    def observer(self, observer: HierarchyObserver) -> None:
+        """Install an observer, pre-resolving which hooks are overridden.
+
+        Hooks left at the base-class no-op are never dispatched on the hot
+        path — the default (no observer) configuration pays nothing.
+        """
+        cls = type(observer)
+        self._observer = observer
+        self._notify_hit = cls.on_hit is not HierarchyObserver.on_hit
+        self._notify_fill = cls.on_fill is not HierarchyObserver.on_fill
+        self._notify_evict = cls.on_evict is not HierarchyObserver.on_evict
 
     # -- topology ----------------------------------------------------------
 
@@ -142,18 +210,33 @@ class CacheHierarchy:
         self._repair_after_reconfiguration()
 
     def _recompute_search_orders(self) -> None:
-        """Derive per-core lookup orders, skipping fault-disabled slices."""
-        n = self.config.cores
-        self._l2_search_order = [()] * n
-        self._l3_search_order = [()] * n
-        for group in self._l2_groups:
-            for slice_id in group:
-                self._l2_search_order[slice_id] = _search_order(
-                    slice_id, group, self._disabled[L2])
-        for group in self._l3_groups:
-            for slice_id in group:
-                self._l3_search_order[slice_id] = _search_order(
-                    slice_id, group, self._disabled[L3])
+        """Rebuild the per-level bindings (orders + fast-path slices)."""
+        for binding, groups in ((self._l2_binding, self._l2_groups),
+                                (self._l3_binding, self._l3_groups)):
+            disabled = self._disabled[binding.name]
+            for group in groups:
+                for slice_id in group:
+                    order = _search_order(slice_id, group, disabled)
+                    binding.orders[slice_id] = order
+                    binding.fast[slice_id] = (
+                        binding.slices[slice_id]
+                        if order == (slice_id,) else None)
+        # The all-private monolithic fast path: valid for a core when both
+        # levels are singleton-local and replacement is true LRU (the inline
+        # code implements recency-dict LRU only).
+        lru = self.config.replacement == "lru"
+        self._private_fast = [
+            lru
+            and self._l2_binding.fast[core] is not None
+            and self._l3_binding.fast[core] is not None
+            for core in range(self.config.cores)
+        ]
+        # When *every* core is private-fast, shadow the class's ``access``
+        # with the fast path directly (one call frame less per access).
+        if all(self._private_fast):
+            self.access = self._access_private
+        else:
+            self.__dict__.pop("access", None)
 
     # -- fault support -----------------------------------------------------
 
@@ -190,7 +273,7 @@ class CacheHierarchy:
         for slice_id in newly_offline:
             for entry in slices[slice_id].flush():
                 slice_stats[slice_id].evictions += 1
-                self.observer.on_evict(level, slice_id, entry.line, entry.owner)
+                self._observer.on_evict(level, slice_id, entry.line, entry.owner)
         self._recompute_search_orders()
         self._repair_after_reconfiguration()
 
@@ -211,7 +294,7 @@ class CacheHierarchy:
                 if slice_id not in self._l3_group_of[entry.owner]:
                     l3.invalidate_entry(entry)
                     self.stats.l3_slices[slice_id].evictions += 1
-                    self.observer.on_evict(L3, slice_id, entry.line, entry.owner)
+                    self._observer.on_evict(L3, slice_id, entry.line, entry.owner)
         # L2 orphans: unreachable by owner, or L3 backing copy gone.
         for slice_id, l2 in enumerate(self.l2s):
             l3_group = self._l3_group_of[slice_id]
@@ -221,7 +304,7 @@ class CacheHierarchy:
                 if unreachable or unbacked:
                     l2.invalidate_entry(entry)
                     self.stats.l2_slices[slice_id].evictions += 1
-                    self.observer.on_evict(L2, slice_id, entry.line, entry.owner)
+                    self._observer.on_evict(L2, slice_id, entry.line, entry.owner)
         # L1 copies must still be backed by the core's (new) L2 group.
         for line, holders in list(self._l1_directory.items()):
             for core in list(holders):
@@ -251,10 +334,12 @@ class CacheHierarchy:
 
     def access(self, core: int, line: int, write: bool = False) -> AccessResult:
         """Issue one reference from ``core``; returns level and latency."""
+        if self._private_fast[core]:
+            return self._access_private(core, line, write)
         self._stamp += 1
         stamp = self._stamp
         lat = self.config.latency
-        core_stats = self.stats.cores[core]
+        core_stats = self._core_stats[core]
         core_stats.accesses += 1
 
         # L1.
@@ -267,10 +352,10 @@ class CacheHierarchy:
             if write:
                 entry.dirty = True
                 latency += self._invalidate_other_l1s(core, line)
-            return AccessResult(latency=latency, level="l1", remote=False)
+            return AccessResult(latency, "l1", False)
 
         # L2 group.
-        hit_slice, latency = self._lookup_group(L2, core, line, stamp)
+        hit_slice, latency = self._lookup_group(self._l2_binding, core, line, stamp)
         if hit_slice is not None:
             remote = hit_slice != core
             if remote:
@@ -280,23 +365,23 @@ class CacheHierarchy:
             total = latency + self._fill_l1(core, line, write, stamp)
             if write:
                 total += self._invalidate_other_l1s(core, line)
-            return AccessResult(latency=total, level="l2", remote=remote)
+            return AccessResult(total, "l2", remote)
 
         # L3 group.
-        hit_slice, latency = self._lookup_group(L3, core, line, stamp)
+        hit_slice, latency = self._lookup_group(self._l3_binding, core, line, stamp)
         if hit_slice is not None:
             remote = hit_slice != core
             if remote:
                 core_stats.l3_remote_hits += 1
             else:
                 core_stats.l3_local_hits += 1
-            l2_filled = self._fill_group(L2, core, line, write, stamp)
+            l2_filled = self._fill_group(self._l2_binding, core, line, write, stamp)
             total = latency
             if l2_filled is not None:
                 total += self._fill_l1(core, line, write, stamp)
             if write:
                 total += self._invalidate_other_l1s(core, line)
-            return AccessResult(latency=total, level="l3", remote=remote)
+            return AccessResult(total, "l3", remote)
 
         # Main memory.  Fills cascade only while the parent level succeeded:
         # with a whole group fault-disabled the lower levels skip caching
@@ -304,99 +389,299 @@ class CacheHierarchy:
         core_stats.memory_accesses += 1
         core_stats.memory_cycles += lat.memory
         total = lat.memory
-        if self._fill_group(L3, core, line, write, stamp) is not None:
-            if self._fill_group(L2, core, line, write, stamp) is not None:
+        if self._fill_group(self._l3_binding, core, line, write, stamp) is not None:
+            if self._fill_group(self._l2_binding, core, line, write, stamp) is not None:
                 total += self._fill_l1(core, line, write, stamp)
         if write:
             total += self._invalidate_other_l1s(core, line)
-        return AccessResult(latency=total, level="mem", remote=False)
+        return AccessResult(total, "mem", False)
+
+    def _access_private(self, core: int, line: int, write: bool = False) -> AccessResult:
+        """The all-private (singleton local groups, true LRU) access path.
+
+        Semantically identical to the general path below, with the slice
+        operations inlined: each level is one dict probe, a hit is a
+        recency-dict re-append, and a fill's LRU victim is the dict head.
+        The golden-determinism test and the checkpoint digests pin the
+        bit-identical claim.
+        """
+        self._stamp += 1
+        stamp = self._stamp
+        core_stats = self._core_stats[core]
+        core_stats.accesses += 1
+
+        # L1 probe (recency-dict hit).
+        l1 = self.l1s[core]
+        bucket = l1._index[line & l1._set_mask]
+        entry = bucket.get(line)
+        if entry is not None:
+            entry.stamp = stamp
+            del bucket[line]
+            bucket[line] = entry
+            core_stats.l1_hits += 1
+            latency = self._lat_l1
+            if write:
+                entry.dirty = True
+                # A holder set of exactly {core} (the common private case)
+                # needs no coherence work; core is a holder by inclusion.
+                holders = self._l1_directory.get(line)
+                if holders is not None and len(holders) > 1:
+                    latency += self._invalidate_other_l1s(core, line)
+            return AccessResult(latency, "l1", False)
+
+        # L2 probe.
+        l2 = self.l2s[core]
+        bucket = l2._index[line & l2._set_mask]
+        entry = bucket.get(line)
+        if entry is not None:
+            entry.stamp = stamp
+            del bucket[line]
+            bucket[line] = entry
+            self._l2_slice_stats[core].hits += 1
+            core_stats.l2_local_hits += 1
+            if self._notify_hit:
+                self._observer.on_hit(L2, core, core, line)
+            self._fill_l1_private(l1, l2, core, line, write, stamp)
+            total = self._lat_l2_local
+            if write:
+                holders = self._l1_directory.get(line)
+                if holders is not None and len(holders) > 1:
+                    total += self._invalidate_other_l1s(core, line)
+            return AccessResult(total, "l2", False)
+        self._l2_slice_stats[core].misses += 1
+
+        # L3 probe.
+        l3 = self.l3s[core]
+        bucket = l3._index[line & l3._set_mask]
+        entry = bucket.get(line)
+        if entry is not None:
+            entry.stamp = stamp
+            del bucket[line]
+            bucket[line] = entry
+            self._l3_slice_stats[core].hits += 1
+            core_stats.l3_local_hits += 1
+            if self._notify_hit:
+                self._observer.on_hit(L3, core, core, line)
+            self._fill_private(self._l2_binding, l2, core, line, write, stamp)
+            self._fill_l1_private(l1, l2, core, line, write, stamp)
+            total = self._lat_l3_local
+            if write:
+                holders = self._l1_directory.get(line)
+                if holders is not None and len(holders) > 1:
+                    total += self._invalidate_other_l1s(core, line)
+            return AccessResult(total, "l3", False)
+        self._l3_slice_stats[core].misses += 1
+
+        # Main memory; fills cascade down the private slices.
+        core_stats.memory_accesses += 1
+        core_stats.memory_cycles += self._lat_mem
+        total = self._lat_mem
+        self._fill_private(self._l3_binding, l3, core, line, write, stamp)
+        self._fill_private(self._l2_binding, l2, core, line, write, stamp)
+        self._fill_l1_private(l1, l2, core, line, write, stamp)
+        if write:
+            holders = self._l1_directory.get(line)
+            if holders is not None and len(holders) > 1:
+                total += self._invalidate_other_l1s(core, line)
+        return AccessResult(total, "mem", False)
+
+    def _fill_l1_private(self, l1: CacheSlice, l2: CacheSlice, core: int,
+                         line: int, write: bool, stamp: int) -> None:
+        """:meth:`_fill_l1` with the L1 insert and the singleton-L2 dirty
+        writeback inlined (the private path's L2 order is ``(core,)``).
+
+        The evicted entry object is recycled as the new entry (its fields
+        are all overwritten) to avoid an allocation per fill; the victim's
+        line/dirtiness are captured first.
+        """
+        set_index = line & l1._set_mask
+        ways = l1._data[set_index]
+        bucket = l1._index[set_index]
+        directory = self._l1_directory
+        if len(ways) >= l1.ways:
+            victim = next(iter(bucket.values()))
+            victim_line = victim.line
+            del bucket[victim_line]
+            ways.remove(victim)
+            holders = directory.get(victim_line)
+            if holders is not None:
+                holders.discard(core)
+                if not holders:
+                    del directory[victim_line]
+            if victim.dirty:
+                l2_entry = l2._index[victim_line & l2._set_mask].get(victim_line)
+                if l2_entry is not None:
+                    l2_entry.dirty = True
+            entry = victim  # recycle
+            entry.line = line
+            entry.owner = core
+            entry.dirty = write
+            entry.stamp = stamp
+        else:
+            entry = Entry(line, core, write, stamp)
+        ways.append(entry)
+        bucket[line] = entry
+        holders = directory.get(line)
+        if holders is None:
+            directory[line] = {core}
+        else:
+            holders.add(core)
+
+    def _fill_private(self, binding: _LevelBinding, slice_: CacheSlice,
+                      core: int, line: int, write: bool, stamp: int) -> None:
+        """Singleton-group fill with the slice's insert inlined (LRU only).
+
+        The evicted entry object is recycled as the new entry to avoid an
+        allocation per fill; its line/owner are captured first for the
+        eviction bookkeeping that runs after the insert.
+        """
+        set_index = line & slice_._set_mask
+        ways = slice_._data[set_index]
+        bucket = slice_._index[set_index]
+        victim_line = -1
+        victim_owner = -1
+        if len(ways) >= slice_.ways:
+            victim = next(iter(bucket.values()))
+            victim_line = victim.line
+            victim_owner = victim.owner
+            ways.remove(victim)
+            del bucket[victim_line]
+            entry = victim  # recycle
+            entry.line = line
+            entry.owner = core
+            entry.dirty = write
+            entry.stamp = stamp
+        else:
+            entry = Entry(line, core, write, stamp)
+        ways.append(entry)
+        bucket[line] = entry
+        stats = binding.stats[core]
+        stats.insertions += 1
+        if self._notify_fill:
+            self._observer.on_fill(binding.name, core, core, line)
+        if victim_line >= 0:
+            stats.evictions += 1
+            if self._notify_evict:
+                self._observer.on_evict(binding.name, core, victim_line,
+                                        victim_owner)
+            self._back_invalidate(binding.name, core, victim_line)
 
     # -- group mechanics ---------------------------------------------------
 
     def _lookup_group(
-        self, level: str, core: int, line: int, stamp: int
+        self, binding: _LevelBinding, core: int, line: int, stamp: int
     ) -> Tuple[Optional[int], int]:
-        """Search the core's group at ``level``; return (hit slice, latency).
+        """Search the core's group at the binding's level; return (hit slice,
+        latency).
 
         Implements lazy invalidation: when the line is found in several
         slices of a merged group (duplicates left over from a merge), only
-        the most recently used copy is kept.
+        the most recently used copy is kept.  The private-topology fast path
+        (a singleton, local group) skips all of that: at most one copy can
+        exist and any hit is local.
         """
-        slices = self.l2s if level == L2 else self.l3s
-        slice_stats = self.stats.l2_slices if level == L2 else self.stats.l3_slices
-        lat = self.config.latency
-        local_hit = lat.l2_local_hit if level == L2 else lat.l3_local_hit
-        merged_hit = lat.l2_merged_hit if level == L2 else lat.l3_merged_hit
-        order = (self._l2_search_order if level == L2 else self._l3_search_order)[core]
+        stats = binding.stats
+        local = binding.fast[core]
+        if local is not None:
+            entry = local.lookup(line)
+            if entry is None:
+                stats[core].misses += 1
+                return None, 0
+            local.touch(entry, stamp)
+            stats[core].hits += 1
+            if self._notify_hit:
+                self._observer.on_hit(binding.name, core, core, line)
+            return core, binding.local_hit
 
-        hits: List[Tuple[int, Entry]] = []
+        slices = binding.slices
+        order = binding.orders[core]
+        winner_slice = -1
+        winner: Optional[Entry] = None
+        extra: Optional[List[Tuple[int, Entry]]] = None
         for slice_id in order:
             entry = slices[slice_id].lookup(line)
             if entry is not None:
-                hits.append((slice_id, entry))
-        if not hits:
-            slice_stats[core].misses += 1
+                if winner is None:
+                    winner_slice, winner = slice_id, entry
+                elif extra is None:
+                    extra = [(slice_id, entry)]
+                else:
+                    extra.append((slice_id, entry))
+        if winner is None:
+            stats[core].misses += 1
             return None, 0
 
-        hits.sort(key=lambda item: item[1].stamp, reverse=True)
-        winner_slice, winner = hits[0]
-        for dup_slice, dup in hits[1:]:
-            slices[dup_slice].invalidate_entry(dup)
-            slice_stats[dup_slice].lazy_invalidations += 1
-            if dup.dirty:
-                winner.dirty = True
-            self.observer.on_evict(level, dup_slice, line, dup.owner)
+        if extra is not None:
+            hits = [(winner_slice, winner)] + extra
+            hits.sort(key=lambda item: item[1].stamp, reverse=True)
+            winner_slice, winner = hits[0]
+            for dup_slice, dup in hits[1:]:
+                slices[dup_slice].invalidate_entry(dup)
+                stats[dup_slice].lazy_invalidations += 1
+                if dup.dirty:
+                    winner.dirty = True
+                if self._notify_evict:
+                    self._observer.on_evict(binding.name, dup_slice, line, dup.owner)
         slices[winner_slice].touch(winner, stamp)
-        slice_stats[winner_slice].hits += 1
-        self.observer.on_hit(level, winner_slice, core, line)
-        is_local = winner_slice == core
-        if is_local or not self.charge_remote_latency:
-            return winner_slice, local_hit
+        stats[winner_slice].hits += 1
+        if self._notify_hit:
+            self._observer.on_hit(binding.name, winner_slice, core, line)
+        if winner_slice == core or not self.charge_remote_latency:
+            return winner_slice, binding.local_hit
         # Remote hits pay the merged latency plus the segmented-bus span
         # cost for slices beyond the immediate neighbourhood (Section 5.5),
         # plus the arbiter-stall penalty while a bus fault is active.
-        distance_penalty = (abs(winner_slice - core) - 1) * lat.distance_cycles_per_hop
-        return winner_slice, merged_hit + max(0, distance_penalty) + self.bus_penalty
+        distance_penalty = (abs(winner_slice - core) - 1) \
+            * self.config.latency.distance_cycles_per_hop
+        return winner_slice, binding.merged_hit + max(0, distance_penalty) \
+            + self.bus_penalty
 
-    def _fill_group(self, level: str, core: int, line: int, write: bool,
-                    stamp: int) -> Optional[int]:
-        """Install ``line`` into the core's group at ``level``.
+    def _fill_group(self, binding: _LevelBinding, core: int, line: int,
+                    write: bool, stamp: int) -> Optional[int]:
+        """Install ``line`` into the core's group at the binding's level.
 
         Placement: the local slice if its set has room, else any group slice
         with room, else the slice holding the group-wide LRU victim (summed
         associativity per footnote 1).  Returns the slice filled, or None
         when every slice of the group is fault-disabled (the line is simply
-        not cached at this level).
+        not cached at this level).  A singleton local group needs no
+        placement search — insert() already picks the slice-local victim.
         """
-        slices = self.l2s if level == L2 else self.l3s
-        slice_stats = self.stats.l2_slices if level == L2 else self.stats.l3_slices
-        order = (self._l2_search_order if level == L2 else self._l3_search_order)[core]
-        if not order:
-            return None
-
-        target = None
-        for slice_id in order:
-            if slices[slice_id].has_room(line):
-                target = slice_id
-                break
-        if target is None:
-            oldest_stamp = None
+        slices = binding.slices
+        local = binding.fast[core]
+        if local is not None:
+            target = core
+            victim = local.insert(line, core, write, stamp)
+        else:
+            order = binding.orders[core]
+            if not order:
+                return None
+            target = None
             for slice_id in order:
-                candidate = slices[slice_id].victim_candidate(line)
-                if candidate is not None and (
-                    oldest_stamp is None or candidate.stamp < oldest_stamp
-                ):
-                    oldest_stamp = candidate.stamp
+                if slices[slice_id].has_room(line):
                     target = slice_id
-            if target is None:  # pragma: no cover - sets cannot all be unfull and victimless
-                target = order[0]
-        victim = slices[target].insert(line, core, write, stamp)
-        slice_stats[target].insertions += 1
-        self.observer.on_fill(level, target, core, line)
+                    break
+            if target is None:
+                oldest_stamp = None
+                for slice_id in order:
+                    candidate = slices[slice_id].victim_candidate(line)
+                    if candidate is not None and (
+                        oldest_stamp is None or candidate.stamp < oldest_stamp
+                    ):
+                        oldest_stamp = candidate.stamp
+                        target = slice_id
+                if target is None:  # pragma: no cover - sets cannot all be unfull and victimless
+                    target = order[0]
+            victim = slices[target].insert(line, core, write, stamp)
+        binding.stats[target].insertions += 1
+        if self._notify_fill:
+            self._observer.on_fill(binding.name, target, core, line)
         if victim is not None:
-            slice_stats[target].evictions += 1
-            self.observer.on_evict(level, target, victim.line, victim.owner)
-            self._back_invalidate(level, target, victim.line)
+            binding.stats[target].evictions += 1
+            if self._notify_evict:
+                self._observer.on_evict(binding.name, target, victim.line,
+                                        victim.owner)
+            self._back_invalidate(binding.name, target, victim.line)
         return target
 
     def _back_invalidate(self, level: str, from_slice: int, line: int) -> None:
@@ -407,7 +692,8 @@ class CacheHierarchy:
                 removed = self.l2s[slice_id].invalidate(line)
                 if removed is not None:
                     self.stats.l2_slices[slice_id].evictions += 1
-                    self.observer.on_evict(L2, slice_id, line, removed.owner)
+                    if self._notify_evict:
+                        self._observer.on_evict(L2, slice_id, line, removed.owner)
         # In both cases the L1 copies must go (L1 is inclusive in L2).
         holders = self._l1_directory.get(line)
         if holders:
@@ -430,7 +716,7 @@ class CacheHierarchy:
             if victim.dirty:
                 # Write back into the L2 copy (inclusion guarantees presence
                 # unless a concurrent back-invalidation removed it).
-                for slice_id in self._l2_search_order[core]:
+                for slice_id in self._l2_binding.orders[core]:
                     entry = self.l2s[slice_id].lookup(victim.line)
                     if entry is not None:
                         entry.dirty = True
@@ -442,6 +728,8 @@ class CacheHierarchy:
         holders = self._l1_directory.get(line)
         if not holders:
             return 0
+        if len(holders) == 1 and core in holders:
+            return 0  # only the writer itself holds the line (common case)
         others = [c for c in holders if c != core]
         if not others:
             return 0

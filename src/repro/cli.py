@@ -9,8 +9,9 @@ Commands:
   [--faults SPEC] [--checkpoint PATH [--checkpoint-every N] [--resume]]`` —
   simulate one scheme on one workload (``MIX 01``.. / a PARSEC name / an
   ``alone:<spec>`` benchmark) and print per-epoch results.
-- ``compare --workload W [--preset P]`` — run the Figure 13 scheme set on
-  one workload and print normalised throughput.
+- ``compare --workload W [--preset P] [--jobs N]`` — run the Figure 13
+  scheme set on one workload (optionally across N worker processes; the
+  results are identical at any job count) and print normalised throughput.
 
 Errors from the simulator exit with a distinct code per class so sweep
 scripts can tell failures apart: ``ConfigError`` 3,
@@ -30,6 +31,7 @@ from repro.interconnect.timing import ArbiterTimingModel
 from repro.render import render_series
 from repro.resilience import ReproError, parse_fault_spec
 from repro.sim.experiment import run_scheme
+from repro.sim.parallel import RunSpec, resolve_jobs, run_many
 from repro.sim.workload import Workload
 from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
 
@@ -96,11 +98,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     machine = preset(args.preset)
     workload = _workload_from_name(args.workload)
     schemes = STATIC_LABELS + ["morphcache"]
-    results = {scheme: run_scheme(scheme, workload, machine, seed=args.seed,
-                                  epochs=args.epochs)
-               for scheme in schemes}
+    specs = [RunSpec(scheme=scheme, workload=workload, config=machine,
+                     seed=args.seed, epochs=args.epochs)
+             for scheme in schemes]
+    results = dict(zip(schemes, run_many(specs, jobs=args.jobs)))
     base = results["(16:1:1)"].mean_throughput
-    print(f"{workload.name} ({args.preset} preset)")
+    jobs = resolve_jobs(args.jobs)
+    suffix = f", {jobs} jobs" if jobs > 1 else ""
+    print(f"{workload.name} ({args.preset} preset{suffix})")
     for scheme, result in sorted(results.items(),
                                  key=lambda kv: -kv[1].mean_throughput):
         print(f"  {scheme:12} {result.mean_throughput:8.3f}  "
@@ -146,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--preset", default="small")
     compare_parser.add_argument("--epochs", type=int, default=3)
     compare_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the scheme sweep (default: $REPRO_JOBS "
+             "or 1); results are identical at any job count")
     return parser
 
 

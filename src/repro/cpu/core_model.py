@@ -32,14 +32,14 @@ class CoreTimingModel:
         self.issue_width = issue_width
         self.memory_latency = memory_latency
         self.memory_overlap = memory_overlap
+        self._hidden = memory_latency * memory_overlap
         self.cycles = 0.0
         self.instructions = 0
 
     def account(self, gap: int, latency: int) -> None:
         """Record one memory reference preceded by ``gap`` ALU instructions."""
         if latency >= self.memory_latency:
-            hidden = self.memory_latency * self.memory_overlap
-            latency = latency - hidden
+            latency = latency - self._hidden
         self.cycles += gap / self.issue_width + latency
         self.instructions += gap + 1
 

@@ -101,6 +101,35 @@ def run_scheme(
 _ALONE_CACHE: Dict[tuple, float] = {}
 
 
+def alone_ipc_cached(
+    benchmark_name: str,
+    config: MachineConfig,
+    seed: int = 0,
+    epochs: int = 2,
+) -> bool:
+    """Whether :func:`alone_ipc` for these parameters would be a cache hit."""
+    return (benchmark_name, config, seed, epochs) in _ALONE_CACHE
+
+
+def seed_alone_cache(
+    benchmark_name: str,
+    config: MachineConfig,
+    seed: int,
+    epochs: int,
+    ipc: float,
+) -> None:
+    """Populate the alone-run cache with an externally computed IPC.
+
+    This is the bridge for :func:`repro.sim.parallel.prime_alone_ipcs`:
+    worker processes each have their *own* copy of ``_ALONE_CACHE``, so the
+    parent seeds its cache from worker results rather than relying on any
+    cross-process mutation.  The value must come from the same deterministic
+    run :func:`alone_ipc` would perform (alone workload on the all-shared
+    baseline) or downstream speedup metrics will silently shift.
+    """
+    _ALONE_CACHE[(benchmark_name, config, seed, epochs)] = ipc
+
+
 def alone_ipc(
     benchmark_name: str,
     config: MachineConfig,

@@ -1,0 +1,59 @@
+"""Golden determinism: the hot-path rewrite must not move a single bit.
+
+``golden_tiny_mix01.json`` holds the exact per-epoch IPC series (as
+``repr`` strings, i.e. full float precision), miss counts, topology labels
+and final cache-state digests of two fixed-seed runs — morphcache and the
+all-shared ``(16:1:1)`` baseline on MIX 01 at the tiny preset — captured
+from the tree immediately before the rewrite (commit 6bd6035).
+
+Any change to lookup order, victim selection, stats accounting, latency
+arithmetic or observer dispatch shows up here as a float or digest
+mismatch.  If this test fails after an *intentional* behaviour change,
+recapture the fixture with the snippet in the fixture's provenance note
+below; never loosen the comparison.
+
+Provenance / recapture::
+
+    from repro.config import TINY
+    from repro.resilience.checkpoint import state_digest
+    from repro.sim.experiment import build_system
+    from repro.sim.engine import simulate
+    ...  # build_system(scheme, TINY.with_(epochs=3), MIX 01, seed=7),
+    ...  # simulate(...), record repr(ipc) per core plus state_digest(system)
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import TINY
+from repro.resilience.checkpoint import state_digest
+from repro.sim.engine import simulate
+from repro.sim.experiment import build_system
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_tiny_mix01.json").read_text())
+
+SEED = 7
+CONFIG = TINY.with_(epochs=3)
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_golden_series_and_digest(scheme):
+    workload = Workload.from_mix(MIXES[0])
+    system = build_system(scheme, CONFIG, workload, seed=SEED)
+    result = simulate(system, workload, CONFIG, seed=SEED)
+
+    expected = GOLDEN[scheme]
+    assert len(result.epochs) == len(expected["epochs"])
+    for got, want in zip(result.epochs, expected["epochs"]):
+        assert got.epoch == want["epoch"]
+        assert got.topology_label == want["topology_label"]
+        # repr-level comparison: bit-identical floats, not approx-equal.
+        assert {str(c): repr(v) for c, v in got.ipcs.items()} == want["ipcs"]
+        assert {str(c): v for c, v in got.misses.items()} == want["misses"]
+
+    assert state_digest(system) == expected["digest"]

@@ -1,0 +1,76 @@
+"""Tests for the process-parallel sweep runner."""
+
+import pytest
+
+from repro.config import TINY
+from repro.sim import experiment
+from repro.sim.parallel import (
+    RunSpec,
+    derive_seed,
+    prime_alone_ipcs,
+    resolve_jobs,
+    run_many,
+)
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+
+def _specs():
+    workload = Workload.from_mix(MIXES[0])
+    return [RunSpec(scheme=scheme, workload=workload, config=TINY, seed=11)
+            for scheme in ["(16:1:1)", "(1:1:16)", "(4:4:1)", "morphcache"]]
+
+
+def test_jobs1_and_jobs4_identical_and_ordered():
+    specs = _specs()
+    serial = run_many(specs, jobs=1)
+    parallel = run_many(specs, jobs=4)
+    # Results in input order under both job counts...
+    assert [r.scheme_name for r in serial] == [s.scheme for s in specs]
+    assert [r.scheme_name for r in parallel] == [s.scheme for s in specs]
+    # ...and the full EpochResult series bit-identical run for run.
+    for a, b in zip(serial, parallel):
+        assert a.workload_name == b.workload_name
+        assert a.epochs == b.epochs
+
+
+def test_worker_failure_raises():
+    workload = Workload.from_mix(MIXES[0])
+    good = RunSpec(scheme="(16:1:1)", workload=workload, config=TINY)
+    bad = RunSpec(scheme="not-a-scheme", workload=workload, config=TINY)
+    with pytest.raises(ValueError, match="unknown scheme"):
+        run_many([good, bad, good], jobs=4)
+    with pytest.raises(ValueError, match="unknown scheme"):
+        run_many([bad], jobs=1)
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    assert resolve_jobs(2) == 2  # explicit argument wins
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+def test_derive_seed_stable_and_distinct():
+    seeds = [derive_seed(2011, i) for i in range(64)]
+    assert seeds == [derive_seed(2011, i) for i in range(64)]  # stable
+    assert len(set(seeds)) == 64  # distinct per index
+    assert set(seeds).isdisjoint(derive_seed(2012, i) for i in range(64))
+    assert all(0 <= s < 2 ** 31 for s in seeds)
+
+
+def test_prime_alone_ipcs_matches_serial_cache(monkeypatch):
+    monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
+    primed = prime_alone_ipcs(["mcf", "milc", "mcf"], TINY,
+                              seed=3, epochs=2, jobs=2)
+    assert set(primed) == {"mcf", "milc"}
+    # The pool-computed values are cache hits now, and identical to what a
+    # serial alone_ipc() computes from scratch.
+    assert experiment.alone_ipc_cached("mcf", TINY, seed=3, epochs=2)
+    monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
+    for name, ipc in primed.items():
+        assert experiment.alone_ipc(name, TINY, seed=3, epochs=2) == ipc

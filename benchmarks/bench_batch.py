@@ -1,0 +1,131 @@
+"""Batch-engine benchmark: event vs batch accesses/second, same epochs.
+
+Times one epoch of MIX 01 through both engines on the three topologies that
+exercise the batch engine's dispatch tiers:
+
+- ``private`` ``(1:1:16)`` — disjoint per-core address spaces, so the
+  per-core specialised kernel (``batch-private-percore``) handles the whole
+  epoch;
+- ``merged`` ``(4:4:1)`` — multi-slice search groups, the general batch
+  kernel over the real access path;
+- ``shared`` ``(16:1:1)`` — 16-way search groups, again the general kernel.
+
+Both engines consume identical traces and produce bit-identical state (the
+differential suite in ``tests/sim/test_batch_equivalence.py`` proves it);
+this benchmark records only the throughput ratio.  Each topology is
+measured best-of-``PASSES`` to damp scheduler noise.  Output goes to
+``benchmarks/results/batch.txt`` and, machine-readably, ``BENCH_batch.json``
+at the repo root.
+
+The timed region is purely the epoch runner: trace generation, timer
+construction and ``end_epoch`` happen outside the clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from benchmarks.common import BENCH_CONFIG, SEED, format_rows, report
+from repro.cpu.cmp import CmpSystem
+from repro.cpu.core_model import CoreTimingModel
+from repro.sim.batch import GENERAL_KERNEL, PRIVATE_PERCORE, run_epoch_batch
+from repro.sim.engine import run_epoch
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+TOPOLOGIES = {"private": "(1:1:16)", "merged": "(4:4:1)", "shared": "(16:1:1)"}
+
+#: The dispatch tier each topology must land on — a silent fall-through to a
+#: slower tier would otherwise masquerade as a perf regression.
+EXPECTED_TAGS = {"private": PRIVATE_PERCORE, "merged": GENERAL_KERNEL,
+                 "shared": GENERAL_KERNEL}
+
+EPOCHS = 4   # epoch 0 doubles as cache warm-up; all epochs are timed
+PASSES = 3   # best-of-N passes per (topology, engine)
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def _measure_once(label: str, engine: str, expected_tag: str) -> float:
+    """Accesses/second for one engine over EPOCHS epochs of MIX 01."""
+    workload = Workload.from_mix(MIXES[0])
+    system = CmpSystem(BENCH_CONFIG, static_label=label)
+    threads = workload.build_threads(BENCH_CONFIG, seed=SEED)
+    active = [core for core, thread in enumerate(threads) if thread is not None]
+    n = BENCH_CONFIG.accesses_per_core_per_epoch
+    total_accesses = 0
+    total_time = 0.0
+    for _ in range(EPOCHS):
+        traces = {core: threads[core].generate(n) for core in active}
+        timers = {core: CoreTimingModel(BENCH_CONFIG.issue_width,
+                                        memory_latency=BENCH_CONFIG.latency.memory)
+                  for core in active}
+        start = time.perf_counter()
+        if engine == "batch":
+            tag = run_epoch_batch(system, traces, timers, n)
+        else:
+            run_epoch(system, traces, timers, n)
+            tag = None
+        total_time += time.perf_counter() - start
+        total_accesses += n * len(active)
+        system.end_epoch()
+        if tag is not None:
+            assert tag == expected_tag, (label, tag, expected_tag)
+    return total_accesses / total_time
+
+
+def measure(label: str, engine: str, expected_tag: str) -> float:
+    return max(_measure_once(label, engine, expected_tag)
+               for _ in range(PASSES))
+
+
+def test_batch_engine(benchmark):
+    def sweep():
+        rates = {}
+        for name, label in TOPOLOGIES.items():
+            rates[name] = {
+                engine: measure(label, engine, EXPECTED_TAGS[name])
+                for engine in ("event", "batch")
+            }
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedups = {name: rates[name]["batch"] / rates[name]["event"]
+                for name in TOPOLOGIES}
+
+    rows = [[name, TOPOLOGIES[name], EXPECTED_TAGS[name],
+             f"{rates[name]['event']:.0f}", f"{rates[name]['batch']:.0f}",
+             f"{speedups[name]:.2f}x"]
+            for name in TOPOLOGIES]
+    table = format_rows(
+        ["path", "topology", "batch tier", "event acc/s", "batch acc/s",
+         "speedup"], rows)
+    report("batch",
+           "Batch engine vs event engine: accesses/second per epoch "
+           "(MIX 01, small preset, seed 2011)\n"
+           f"{table}\n\n"
+           "Both engines are bit-identical (tests/sim/"
+           "test_batch_equivalence.py); best-of-"
+           f"{PASSES} passes per cell.")
+
+    JSON_PATH.write_text(json.dumps({
+        "config": "SMALL(accesses_per_core_per_epoch=2000, epochs=3)",
+        "workload": "MIX 01",
+        "seed": SEED,
+        "epochs_timed": EPOCHS,
+        "passes": PASSES,
+        "unit": "accesses/second",
+        "event": {name: rates[name]["event"] for name in TOPOLOGIES},
+        "batch": {name: rates[name]["batch"] for name in TOPOLOGIES},
+        "speedup": speedups,
+    }, indent=2) + "\n")
+
+    # The tentpole target is >=3x on the private topology; 2x here is the
+    # loud-regression floor so a noisy/loaded machine doesn't flake the
+    # (non-gating) CI smoke run while a real regression still fails.
+    assert speedups["private"] >= 2.0, speedups
+    # The general kernel routes through the same access path as the event
+    # loop, so merged/shared sit at parity; 0.9 is the noise band.
+    assert all(s >= 0.9 for s in speedups.values()), speedups

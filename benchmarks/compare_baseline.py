@@ -1,0 +1,73 @@
+"""Compare a freshly measured BENCH_*.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BASELINE.json FRESH.json
+
+Walks both JSON trees and compares every shared numeric leaf that is a
+throughput measurement (anything except metadata keys).  When a fresh
+number falls more than ``THRESHOLD`` below the committed baseline it emits
+a GitHub Actions ``::warning::`` annotation so the regression is visible on
+the PR without gating it — shared runners are too noisy for a hard fail.
+Always exits 0; the caller decides what (if anything) gates.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Fractional drop below baseline that trips a warning annotation.
+THRESHOLD = 0.20
+
+#: Top-level keys that describe the measurement rather than report one.
+METADATA_KEYS = {"config", "workload", "seed", "epochs_timed", "passes",
+                 "unit", "before"}
+
+
+def _leaves(tree, prefix=""):
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from _leaves(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        yield prefix, float(tree)
+
+
+def compare(baseline: dict, fresh: dict, label: str) -> list:
+    """Paths whose fresh value regressed >THRESHOLD below the baseline."""
+    fresh_map = dict(_leaves(fresh))
+    regressions = []
+    for path, base_value in _leaves(baseline):
+        if path.split(".", 1)[0] in METADATA_KEYS or base_value <= 0:
+            continue
+        got = fresh_map.get(path)
+        if got is not None and got < base_value * (1.0 - THRESHOLD):
+            regressions.append((label, path, base_value, got))
+    return regressions
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = pathlib.Path(argv[1]), pathlib.Path(argv[2])
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; skipping comparison")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    regressions = compare(baseline, fresh, baseline_path.stem)
+    for label, path, base_value, got in regressions:
+        drop = 100.0 * (1.0 - got / base_value)
+        print(f"::warning title=bench regression ({label})::"
+              f"{path}: {got:.0f} vs committed {base_value:.0f} "
+              f"(-{drop:.0f}%, threshold {THRESHOLD:.0%})")
+    if not regressions:
+        print(f"{baseline_path.name}: all measurements within "
+              f"{THRESHOLD:.0%} of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

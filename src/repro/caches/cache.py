@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.caches.replacement import make_policy
 
 
@@ -159,6 +161,66 @@ class CacheSlice:
         del bucket[entry.line]
         self._data[entry.line & self._set_mask].remove(entry)
         return True
+
+    # -- array-friendly state export/import (batch engine & tests) ---------
+
+    def set_bucket(self, set_index: int) -> Dict[int, "Entry"]:
+        """The ``line -> Entry`` dict of one set, in recency order (LRU).
+
+        The batch engine's per-set kernels hoist these dicts once per
+        partition instead of re-resolving ``_index[line & mask]`` per
+        access.  Mutating the returned dict directly is only sound while
+        the lockstep way-list is maintained alongside (as the kernels do).
+        """
+        return self._index[set_index]
+
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Snapshot the slice state as parallel numpy arrays.
+
+        Entries appear in digest order (way-list order per set, sets
+        ascending) so two slices are state-equal iff their exports are
+        element-wise equal.  Used by the batch-engine differential tests
+        and available to future vectorised kernels.
+        """
+        sets, lines, owners, dirty, stamps = [], [], [], [], []
+        for set_index, ways in enumerate(self._data):
+            for entry in ways:
+                sets.append(set_index)
+                lines.append(entry.line)
+                owners.append(entry.owner)
+                dirty.append(entry.dirty)
+                stamps.append(entry.stamp)
+        return {
+            "set": np.asarray(sets, dtype=np.int64),
+            "line": np.asarray(lines, dtype=np.int64),
+            "owner": np.asarray(owners, dtype=np.int64),
+            "dirty": np.asarray(dirty, dtype=bool),
+            "stamp": np.asarray(stamps, dtype=np.int64),
+        }
+
+    def import_arrays(self, state: Dict[str, np.ndarray]) -> None:
+        """Rebuild the slice from an :meth:`export_arrays` snapshot.
+
+        The way-lists are restored in export order; under true LRU the
+        recency dicts are rebuilt in stamp order (recency and stamp order
+        coincide for states produced by monotonic-stamp hierarchies), so a
+        round trip is state-identical including the LRU victim choice.
+        """
+        self._data = [[] for _ in range(self.sets)]
+        self._index = [{} for _ in range(self.sets)]
+        entries = [Entry(int(line), int(owner), bool(d), int(stamp))
+                   for line, owner, d, stamp in zip(
+                       state["line"], state["owner"],
+                       state["dirty"], state["stamp"])]
+        for set_index, entry in zip(state["set"], entries):
+            set_index = int(set_index)
+            if len(self._data[set_index]) >= self.ways:
+                raise ValueError(
+                    f"set {set_index} over-full in imported state")
+            self._data[set_index].append(entry)
+        for set_index in range(self.sets):
+            for entry in sorted(self._data[set_index], key=lambda e: e.stamp):
+                self._index[set_index][entry.line] = entry
 
     # -- introspection -----------------------------------------------------
 

@@ -330,6 +330,45 @@ class CacheHierarchy:
     def l3_group_of(self, slice_id: int) -> Tuple[int, ...]:
         return self._l3_group_of[slice_id]
 
+    # -- batch-engine entry points ------------------------------------------
+
+    @property
+    def all_private_fast(self) -> bool:
+        """True when every core takes the monolithic private fast path.
+
+        This is the precondition for the batch engine's specialised
+        all-private kernel (``repro.sim.batch``): singleton local groups at
+        both levels, true LRU, no fault-disabled slices in any core's path.
+        """
+        return all(self._private_fast)
+
+    @property
+    def partition_sets(self) -> int:
+        """Number of independent set partitions for batched resolution.
+
+        The smallest set count across the three levels.  Every structure a
+        reference can touch — its own sets, LRU victims (same set), dirty
+        write-backs (same L1 set ⇒ partition bits preserved), inclusion
+        back-invalidations (subset index bits) and coherence invalidations
+        (same line) — shares the reference's ``line & (partition_sets - 1)``
+        bits, so resolving each partition's subsequence in global order is
+        bit-identical to the fully interleaved order (DESIGN.md §7).
+        """
+        config = self.config
+        return min(config.l1.sets, config.l2_slice.sets, config.l3_slice.sets)
+
+    def advance_stamp(self, count: int) -> int:
+        """Consume ``count`` stamps; returns the stamp *before* the first.
+
+        The batch engine assigns each access its stamp positionally
+        (``base + 1 + global_index``) instead of incrementing per access;
+        this reserves the range and keeps the counter identical to what the
+        per-access path would leave behind.
+        """
+        base = self._stamp
+        self._stamp = base + count
+        return base
+
     # -- the access path ---------------------------------------------------
 
     def access(self, core: int, line: int, write: bool = False) -> AccessResult:

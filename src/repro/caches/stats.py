@@ -46,6 +46,22 @@ class CoreStats:
         """Instructions per cycle over the counted window."""
         return self.instructions / self.cycles if self.cycles else 0.0
 
+    def add_access_counts(self, accesses: int, l1_hits: int,
+                          l2_local_hits: int, l3_local_hits: int,
+                          memory_accesses: int, memory_cycles: int) -> None:
+        """Fold a batch of per-level access counts into the counters.
+
+        The batch engine counts levels in plain local integers during its
+        kernel loop and flushes once per epoch; integer addition commutes,
+        so the totals are identical to per-access increments.
+        """
+        self.accesses += accesses
+        self.l1_hits += l1_hits
+        self.l2_local_hits += l2_local_hits
+        self.l3_local_hits += l3_local_hits
+        self.memory_accesses += memory_accesses
+        self.memory_cycles += memory_cycles
+
     def reset_window(self) -> None:
         """Zero every counter (start of a measurement window)."""
         self.accesses = 0
@@ -70,6 +86,11 @@ class SliceStats:
     insertions: int = 0
     evictions: int = 0
     lazy_invalidations: int = 0
+
+    def add_probe_counts(self, hits: int, misses: int) -> None:
+        """Fold a batch of lookup outcomes into the counters."""
+        self.hits += hits
+        self.misses += misses
 
     def reset_window(self) -> None:
         self.hits = 0

@@ -6,10 +6,12 @@ Commands:
 - ``table2`` — print the arbiter synthesis table.
 - ``list`` — available mixes, PARSEC benchmarks and schemes.
 - ``run --workload W [--scheme S] [--preset P] [--epochs N] [--seed K]
-  [--faults SPEC] [--checkpoint PATH [--checkpoint-every N] [--resume]]`` —
+  [--engine {event,batch}] [--faults SPEC]
+  [--checkpoint PATH [--checkpoint-every N] [--resume]]`` —
   simulate one scheme on one workload (``MIX 01``.. / a PARSEC name / an
   ``alone:<spec>`` benchmark) and print per-epoch results.
-- ``compare --workload W [--preset P] [--jobs N]`` — run the Figure 13
+- ``compare --workload W [--preset P] [--jobs N] [--engine {event,batch}]``
+  — run the Figure 13
   scheme set on one workload (optionally across N worker processes; the
   results are identical at any job count) and print normalised throughput.
 
@@ -81,7 +83,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                         fault_plan=fault_plan,
                         checkpoint_path=args.checkpoint,
                         checkpoint_every=args.checkpoint_every,
-                        resume=args.resume)
+                        resume=args.resume,
+                        engine=args.engine)
     print(f"{args.scheme} on {workload.name} "
           f"({args.preset} preset, seed {args.seed})")
     if fault_plan:
@@ -99,7 +102,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = _workload_from_name(args.workload)
     schemes = STATIC_LABELS + ["morphcache"]
     specs = [RunSpec(scheme=scheme, workload=workload, config=machine,
-                     seed=args.seed, epochs=args.epochs)
+                     seed=args.seed, epochs=args.epochs, engine=args.engine)
              for scheme in schemes]
     results = dict(zip(schemes, run_many(specs, jobs=args.jobs)))
     base = results["(16:1:1)"].mean_throughput
@@ -144,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--resume", action="store_true",
         help="resume from --checkpoint PATH (verified bit-identical replay)")
+    run_parser.add_argument(
+        "--engine", choices=("event", "batch"), default="event",
+        help="epoch engine: per-access event loop (default) or the "
+             "set-partitioned batch engine (bit-identical, faster)")
 
     compare_parser = sub.add_parser("compare",
                                     help="compare the Figure 13 scheme set")
@@ -155,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for the scheme sweep (default: $REPRO_JOBS "
              "or 1); results are identical at any job count")
+    compare_parser.add_argument(
+        "--engine", choices=("event", "batch"), default="event",
+        help="epoch engine for every run of the sweep (bit-identical)")
     return parser
 
 

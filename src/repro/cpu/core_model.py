@@ -15,9 +15,17 @@ show through.
 
 from __future__ import annotations
 
+import numpy as np
+
 #: Fraction of the off-chip latency hidden by out-of-order overlap and
 #: miss-level parallelism.
 DEFAULT_MEMORY_OVERLAP = 0.65
+
+#: Finest binary fraction the exact-summation argument admits: ``_hidden``
+#: must be a multiple of ``2**-_EXACT_FRAC_BITS`` for batched accounting to
+#: be bit-identical to the per-access loop (see :meth:`CoreTimingModel.
+#: batch_summation_exact`).
+_EXACT_FRAC_BITS = 8
 
 
 class CoreTimingModel:
@@ -42,6 +50,74 @@ class CoreTimingModel:
             latency = latency - self._hidden
         self.cycles += gap / self.issue_width + latency
         self.instructions += gap + 1
+
+    # -- batched accounting (the batch engine's timing path) ---------------
+    #
+    # Per access the scalar loop computes ``cycles += gap/w + lat'`` where
+    # ``lat' = lat - _hidden`` for off-chip references.  When every term is
+    # a dyadic rational on a coarse enough grid — ``issue_width`` a power of
+    # two and ``_hidden`` a multiple of 2**-8 — and the running total stays
+    # far below 2**52 grid units, every partial sum is exactly representable
+    # in a float64, so the accumulated value equals the true rational sum
+    # *regardless of summation order or grouping*.  Batched accounting may
+    # then compute ``sum(gaps)/w + (sum(lats) - n_offchip * _hidden)`` in
+    # one reduction and land on bit-identical ``cycles``.  When the
+    # conditions do not hold, :meth:`account_batch` falls back to the scalar
+    # loop (per-core access order is preserved by the batch engine, so the
+    # fallback reproduces the event engine's rounding sequence exactly).
+
+    def batch_summation_exact(self, max_total_cycles: float) -> bool:
+        """Whether batched (reordered) summation is bit-identical here.
+
+        ``max_total_cycles`` is an upper bound on the cycles this timer will
+        accumulate; the caller can over-estimate freely.
+        """
+        w = self.issue_width
+        if w & (w - 1):
+            return False
+        scaled = self._hidden * (1 << _EXACT_FRAC_BITS)
+        if scaled != int(scaled):
+            return False
+        # Grid spacing: 2**-(frac bits of 1/w + _EXACT_FRAC_BITS) at worst.
+        grid_bits = _EXACT_FRAC_BITS + (w.bit_length() - 1)
+        return max_total_cycles < float(2 ** (52 - grid_bits))
+
+    def account_summary(self, n: int, gap_sum: int, latency_sum: int,
+                        offchip_count: int) -> None:
+        """Record ``n`` references from pre-reduced integer sums.
+
+        ``latency_sum`` is the plain integer sum of the raw latencies and
+        ``offchip_count`` the number of references whose raw latency was
+        ``>= memory_latency`` (each of which the scalar path discounts by
+        ``_hidden``).  Only valid when :meth:`batch_summation_exact` holds —
+        the batch engine checks before choosing this path.
+        """
+        self.cycles += gap_sum / self.issue_width \
+            + (latency_sum - offchip_count * self._hidden)
+        self.instructions += gap_sum + n
+
+    def account_batch(self, gaps, latencies) -> None:
+        """Record many references in one reduction (batch engine hot path).
+
+        Bit-identical to calling :meth:`account` per element in order: uses
+        the exact-summation decomposition when
+        :meth:`batch_summation_exact` admits it, else the scalar loop.
+        """
+        gaps = np.asarray(gaps)
+        lats = np.asarray(latencies)
+        n = len(lats)
+        if n == 0:
+            return
+        gap_sum = int(gaps.sum())
+        lat_sum = int(lats.sum())
+        bound = self.cycles + gap_sum / self.issue_width + lat_sum
+        if self.batch_summation_exact(bound):
+            offchip = int((lats >= self.memory_latency).sum())
+            self.account_summary(n, gap_sum, lat_sum, offchip)
+            return
+        account = self.account
+        for gap, lat in zip(gaps.tolist(), lats.tolist()):
+            account(gap, lat)
 
     @property
     def ipc(self) -> float:

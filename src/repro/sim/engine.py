@@ -35,6 +35,12 @@ from repro.resilience.errors import CheckpointError
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.sim.workload import Workload
 
+#: Valid values for :func:`simulate`'s ``engine`` argument.  Both engines
+#: are bit-identical on supported systems (the batch engine falls back to
+#: the event engine otherwise), so checkpoints do not record the engine and
+#: a run may switch engines across a resume.
+ENGINES = ("event", "batch")
+
 
 @dataclass(frozen=True)
 class EpochResult:
@@ -124,6 +130,7 @@ def simulate(
     checkpoint_path=None,
     checkpoint_every: int = 5,
     resume: bool = False,
+    engine: str = "event",
 ) -> RunResult:
     """Run ``workload`` on ``system`` for the configured number of epochs.
 
@@ -144,7 +151,18 @@ def simulate(
             continuing.  Raises :class:`~repro.resilience.errors.
             CheckpointError` if the checkpoint is absent, corrupt, belongs
             to a different run, or the replay diverges.
+        engine: ``"event"`` (default) drives accesses one at a time through
+            :func:`run_epoch`; ``"batch"`` resolves each epoch with the
+            set-partitioned array engine (:mod:`repro.sim.batch`), which is
+            bit-identical and falls back to the event engine for systems it
+            cannot batch.  Checkpoints are engine-agnostic.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}: choose one of {ENGINES}")
+    if engine == "batch":
+        from repro.sim.batch import run_epoch_batch as epoch_runner
+    else:
+        epoch_runner = run_epoch
     n_epochs = epochs if epochs is not None else config.epochs
     n_accesses = (accesses_per_core if accesses_per_core is not None
                   else config.accesses_per_core_per_epoch)
@@ -181,7 +199,7 @@ def simulate(
             for core in active
         }
         traces = {core: threads[core].generate(n_accesses) for core in active}
-        run_epoch(system, traces, timers, n_accesses)
+        epoch_runner(system, traces, timers, n_accesses)
 
         label = system.end_epoch()
         current_misses = system.miss_counts()

@@ -74,11 +74,13 @@ def run_scheme(
     checkpoint_path=None,
     checkpoint_every: int = 5,
     resume: bool = False,
+    engine: str = "event",
 ) -> RunResult:
     """Build the scheme's system and simulate the workload on it.
 
-    ``fault_plan``, ``checkpoint_path``, ``checkpoint_every`` and ``resume``
-    pass straight through to :func:`repro.sim.engine.simulate`.
+    ``fault_plan``, ``checkpoint_path``, ``checkpoint_every``, ``resume``
+    and ``engine`` pass straight through to
+    :func:`repro.sim.engine.simulate`.
     """
     system = build_system(scheme, config, workload, seed=seed, morph=morph)
     result = simulate(
@@ -93,6 +95,7 @@ def run_scheme(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        engine=engine,
     )
     result.scheme_name = scheme
     return result

@@ -55,6 +55,7 @@ class RunSpec:
     accesses_per_core: Optional[int] = None
     warmup_epochs: int = 1
     morph: Optional[MorphConfig] = None
+    engine: str = "event"
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -92,6 +93,7 @@ def _run_spec(spec: RunSpec) -> RunResult:
         accesses_per_core=spec.accesses_per_core,
         warmup_epochs=spec.warmup_epochs,
         morph=spec.morph,
+        engine=spec.engine,
     )
 
 
@@ -115,8 +117,14 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[RunRe
     jobs = min(resolve_jobs(jobs), max(len(specs), 1))
     if jobs <= 1:
         return [_run_spec(spec) for spec in specs]
+    # Explicit chunksize: executor.map defaults to 1, which serialises a
+    # spec per IPC round trip.  Runs are coarse (whole simulations) so the
+    # pickling overhead is minor, but batching specs per worker still trims
+    # dispatch latency on large sweeps — and collection order (and thus the
+    # results) is unaffected.
+    chunksize = max(1, len(specs) // (jobs * 4))
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_run_spec, specs))
+        return list(pool.map(_run_spec, specs, chunksize=chunksize))
 
 
 # -- alone-run IPC priming --------------------------------------------------

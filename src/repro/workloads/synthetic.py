@@ -306,11 +306,15 @@ class SyntheticThread:
 
         writes = rng.random(accesses) < model.write_ratio
         if model.mean_gap > 0:
-            gaps = rng.geometric(1.0 / (1.0 + model.mean_gap), size=accesses) - 1
+            gaps = (rng.geometric(1.0 / (1.0 + model.mean_gap), size=accesses)
+                    - 1).astype(np.int32)
         else:
-            gaps = np.zeros(accesses, dtype=np.int64)
+            # Same dtype as the geometric branch: downstream consumers (the
+            # batch engine's vector sums, checkpoint digests of traces) must
+            # not see the gap dtype flip with the workload model.
+            gaps = np.zeros(accesses, dtype=np.int32)
         self._epoch += 1
-        return EpochTrace(lines=lines, writes=writes, gaps=gaps.astype(np.int32))
+        return EpochTrace(lines=lines, writes=writes, gaps=gaps)
 
 
 def make_threads(

@@ -60,3 +60,67 @@ class TestAccounting:
             CoreTimingModel(0)
         with pytest.raises(ValueError):
             CoreTimingModel(4, memory_overlap=1.0)
+
+
+class TestBatchedAccounting:
+    """The batch engine's reductions must be bit-identical to the loop."""
+
+    def _scalar(self, pairs, **kwargs):
+        core = CoreTimingModel(4, **kwargs)
+        for gap, lat in pairs:
+            core.account(gap, lat)
+        return core
+
+    def test_account_batch_bit_identical_exact_path(self):
+        import numpy as np
+        rng = np.random.default_rng(11)
+        gaps = rng.integers(0, 50, 500)
+        lats = rng.choice([1, 8, 20, 300, 310], size=500)
+        scalar = self._scalar(zip(gaps.tolist(), lats.tolist()))
+        batched = CoreTimingModel(4)
+        assert batched.batch_summation_exact(10 ** 6)
+        batched.account_batch(gaps, lats)
+        assert repr(batched.cycles) == repr(scalar.cycles)
+        assert batched.instructions == scalar.instructions
+
+    def test_account_batch_fallback_preserves_rounding_order(self):
+        # A non-power-of-two issue width defeats the exact decomposition;
+        # account_batch must then reproduce the scalar loop's rounding
+        # sequence (same order, same floats).
+        import numpy as np
+        rng = np.random.default_rng(12)
+        gaps = rng.integers(0, 9, 200)
+        lats = rng.choice([3, 300, 351], size=200)
+        scalar = CoreTimingModel(3)
+        for gap, lat in zip(gaps.tolist(), lats.tolist()):
+            scalar.account(gap, lat)
+        batched = CoreTimingModel(3)
+        assert not batched.batch_summation_exact(1.0)
+        batched.account_batch(gaps, lats)
+        assert repr(batched.cycles) == repr(scalar.cycles)
+        assert batched.instructions == scalar.instructions
+
+    def test_account_summary_matches_scalar(self):
+        pairs = [(3, 8), (0, 300), (7, 1), (2, 310), (5, 300)]
+        scalar = self._scalar(pairs)
+        summed = CoreTimingModel(4)
+        summed.account_summary(
+            n=len(pairs),
+            gap_sum=sum(g for g, _ in pairs),
+            latency_sum=sum(l for _, l in pairs),
+            offchip_count=sum(1 for _, l in pairs if l >= 300))
+        assert repr(summed.cycles) == repr(scalar.cycles)
+        assert summed.instructions == scalar.instructions
+
+    def test_batch_summation_exact_envelope(self):
+        core = CoreTimingModel(4)  # power-of-two width, 0.65 overlap
+        assert core.batch_summation_exact(10 ** 9)
+        assert not core.batch_summation_exact(float(2 ** 55))
+        odd = CoreTimingModel(3)  # non-power-of-two issue width
+        assert not odd.batch_summation_exact(10.0)
+
+    def test_account_batch_empty_is_noop(self):
+        core = CoreTimingModel(4)
+        core.account_batch([], [])
+        assert core.cycles == 0.0
+        assert core.instructions == 0

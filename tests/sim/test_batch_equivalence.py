@@ -1,0 +1,251 @@
+"""Differential suite: the batch engine is bit-identical to the event engine.
+
+Every test runs the same (scheme, workload, seed) twice — once per engine —
+and requires the *exact* same observable run: per-epoch IPCs compared at
+``repr`` precision (bit-identical floats, never approx-equal), the same
+per-core miss counts, the same topology labels, and the same final
+cache-state digest (:func:`repro.resilience.checkpoint.state_digest`, which
+hashes every entry, stamp, LRU order, stat and ACFV).  The suite covers all
+batch dispatch tiers:
+
+- ``batch-private-percore`` — all-private topologies with disjoint per-core
+  address spaces (multiprogrammed mixes);
+- ``batch-private`` — all-private with genuinely shared lines (multithreaded
+  workloads), exercising coherence and cross-core back-invalidation;
+- ``batch-general`` — merged/shared topologies driven through the real
+  access path;
+- ``event`` fallback — schemes without a batchable hierarchy.
+
+A Hypothesis property test drives the private kernels with adversarial
+random traces (tiny geometry, heavy set collisions, optional sharing) so
+the inlined probe/fill/evict sequences are checked against the dict-backed
+``CacheSlice`` semantics far outside the synthetic workloads' layout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.static_topologies import STATIC_LABELS
+from repro.config import TINY
+from repro.cpu.cmp import CmpSystem
+from repro.cpu.core_model import CoreTimingModel
+from repro.resilience import parse_fault_spec
+from repro.resilience.checkpoint import state_digest
+from repro.sim.batch import (
+    EVENT_FALLBACK,
+    GENERAL_KERNEL,
+    PRIVATE_KERNEL,
+    PRIVATE_PERCORE,
+    batch_unsupported,
+    run_epoch_batch,
+)
+from repro.sim.engine import run_epoch, simulate
+from repro.sim.experiment import build_system
+from repro.sim.workload import Workload
+from repro.workloads import MIXES, PARSEC_BENCHMARKS
+
+CONFIG = TINY.with_(epochs=4)
+SEED = 3
+
+
+def _run(scheme, workload, engine, config=CONFIG, seed=SEED, **kwargs):
+    system = build_system(scheme, config, workload, seed=seed)
+    result = simulate(system, workload, config, seed=seed, engine=engine,
+                      **kwargs)
+    return result, state_digest(system)
+
+
+def _assert_identical(scheme, workload, config=CONFIG, seed=SEED, **kwargs):
+    (event, event_digest) = _run(scheme, workload, "event", config, seed,
+                                 **kwargs)
+    (batch, batch_digest) = _run(scheme, workload, "batch", config, seed,
+                                 **kwargs)
+    assert len(event.epochs) == len(batch.epochs)
+    for a, b in zip(event.epochs, batch.epochs):
+        assert a.epoch == b.epoch
+        assert a.topology_label == b.topology_label
+        # repr-level: bit-identical floats, not approx-equal.
+        assert {c: repr(v) for c, v in a.ipcs.items()} \
+            == {c: repr(v) for c, v in b.ipcs.items()}
+        assert a.misses == b.misses
+    assert event_digest == batch_digest
+
+
+@pytest.mark.parametrize("scheme", STATIC_LABELS)
+def test_static_topologies_identical(scheme):
+    _assert_identical(scheme, Workload.from_mix(MIXES[0]))
+
+
+def test_morphcache_identical_across_reconfigurations():
+    _assert_identical("morphcache", Workload.from_mix(MIXES[0]))
+
+
+def test_multithreaded_shared_lines_identical():
+    # A PARSEC workload shares one address space across all threads, so the
+    # private topology must route through the coherence-exact partition
+    # kernel — and still match bit for bit.
+    name = sorted(PARSEC_BENCHMARKS)[0]
+    _assert_identical("(1:1:16)", Workload.from_parsec(name))
+    _assert_identical("morphcache", Workload.from_parsec(name))
+
+
+def test_event_fallback_schemes_identical():
+    for scheme in ("pipp", "dsr", "ucp"):
+        _assert_identical(scheme, Workload.from_mix(MIXES[0]))
+
+
+def test_fault_injected_run_identical():
+    plan = parse_fault_spec(
+        "disable-slice:every=2:level=l3,flip-acfv:at=3:bits=4,seed=7")
+    _assert_identical("morphcache", Workload.from_mix(MIXES[1]),
+                      fault_plan=plan)
+    _assert_identical("(1:1:16)", Workload.from_mix(MIXES[1]),
+                      fault_plan=plan)
+
+
+class _Killed(Exception):
+    pass
+
+
+def test_checkpoint_resume_identical(tmp_path, monkeypatch):
+    # Checkpoints are engine-agnostic: a run checkpointed under one engine
+    # and killed mid-flight resumes under the other, and every combination
+    # lands on the same series and digest as an uninterrupted event run.
+    from repro.sim import engine as engine_module
+
+    workload = Workload.from_mix(MIXES[0])
+    golden, golden_digest = _run("morphcache", workload, "event")
+
+    original = engine_module.save_checkpoint
+    for writer, resumer in (("event", "batch"), ("batch", "event"),
+                            ("batch", "batch")):
+        path = tmp_path / f"{writer}-{resumer}.ckpt"
+
+        def save_then_kill(p, fingerprint, next_epoch, *args, **kwargs):
+            original(p, fingerprint, next_epoch, *args, **kwargs)
+            if next_epoch >= 3:
+                raise _Killed()
+
+        monkeypatch.setattr(engine_module, "save_checkpoint", save_then_kill)
+        system = build_system("morphcache", CONFIG, workload, seed=SEED)
+        with pytest.raises(_Killed):
+            simulate(system, workload, CONFIG, seed=SEED, engine=writer,
+                     checkpoint_path=path, checkpoint_every=1)
+        monkeypatch.setattr(engine_module, "save_checkpoint", original)
+
+        resumed, resumed_digest = _run(
+            "morphcache", workload, resumer,
+            checkpoint_path=path, resume=True)
+        assert resumed_digest == golden_digest
+        assert [e.misses for e in resumed.epochs] \
+            == [e.misses for e in golden.epochs]
+        assert [{c: repr(v) for c, v in e.ipcs.items()}
+                for e in resumed.epochs] \
+            == [{c: repr(v) for c, v in e.ipcs.items()}
+                for e in golden.epochs]
+
+
+# -- dispatch: each epoch must take (and report) the right tier --------------
+
+def _epoch_tag(system, workload, config, seed=SEED):
+    threads = workload.build_threads(config, seed=seed)
+    active = [c for c, t in enumerate(threads) if t is not None]
+    n = config.accesses_per_core_per_epoch
+    traces = {c: threads[c].generate(n) for c in active}
+    timers = {c: CoreTimingModel(config.issue_width,
+                                 memory_latency=config.latency.memory)
+              for c in active}
+    return run_epoch_batch(system, traces, timers, n)
+
+
+def test_dispatch_private_percore():
+    workload = Workload.from_mix(MIXES[0])
+    system = build_system("(1:1:16)", CONFIG, workload, seed=SEED)
+    assert _epoch_tag(system, workload, CONFIG) == PRIVATE_PERCORE
+
+
+def test_dispatch_private_kernel_on_shared_lines():
+    name = sorted(PARSEC_BENCHMARKS)[0]
+    workload = Workload.from_parsec(name)
+    system = build_system("(1:1:16)", CONFIG, workload, seed=SEED)
+    tags = {_epoch_tag(system, workload, CONFIG) for _ in range(3)}
+    assert tags == {PRIVATE_KERNEL}
+
+
+def test_dispatch_general_kernel_on_merged_topology():
+    workload = Workload.from_mix(MIXES[0])
+    system = build_system("(4:4:1)", CONFIG, workload, seed=SEED)
+    assert _epoch_tag(system, workload, CONFIG) == GENERAL_KERNEL
+
+
+def test_dispatch_event_fallback():
+    workload = Workload.from_mix(MIXES[0])
+    system = build_system("pipp", CONFIG, workload, seed=SEED)
+    assert batch_unsupported(system) is not None
+    assert _epoch_tag(system, workload, CONFIG) == EVENT_FALLBACK
+
+
+# -- property test: random traces through the private kernels ----------------
+
+
+class _Trace:
+    """Minimal EpochTrace stand-in with the three arrays the engines read."""
+
+    def __init__(self, lines, writes):
+        self.lines = np.asarray(lines, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=bool)
+        self.gaps = np.zeros(len(lines), dtype=np.int32)
+
+
+def _access_lists(draw, n_cores, length, shared):
+    traces = {}
+    # Tiny line universe => heavy set collisions at every level, constant
+    # evictions, back-invalidations and (when shared) coherence traffic.
+    for core in range(n_cores):
+        base = 0 if shared else core * 1000
+        lines = draw(st.lists(
+            st.integers(min_value=base, max_value=base + 40),
+            min_size=length, max_size=length))
+        writes = draw(st.lists(st.booleans(),
+                               min_size=length, max_size=length))
+        traces[core] = _Trace(lines, writes)
+    return traces
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), shared=st.booleans(), length=st.integers(8, 40))
+def test_private_kernels_match_event_on_random_traces(data, shared, length):
+    """Adversarial traces: batch == event through the dict-backed slices.
+
+    ``shared=True`` forces overlapping per-core address ranges, driving the
+    partition kernel's coherence/invalidations; ``shared=False`` lets the
+    per-core tier engage.  Both must leave the hierarchy (entries, LRU
+    recency, stamps, stats, directory) and the timers bit-identical to the
+    event engine's.
+    """
+    workload = Workload.from_mix(MIXES[0])
+    n_cores = TINY.cores
+    systems = []
+    timer_sets = []
+    for _ in range(2):
+        system = build_system("(1:1:16)", TINY, workload, seed=SEED)
+        timers = {c: CoreTimingModel(TINY.issue_width,
+                                     memory_latency=TINY.latency.memory)
+                  for c in range(n_cores)}
+        systems.append(system)
+        timer_sets.append(timers)
+    traces = _access_lists(data.draw, n_cores, length, shared)
+
+    run_epoch(systems[0], traces, timer_sets[0], length)
+    tag = run_epoch_batch(systems[1], traces, timer_sets[1], length)
+    assert tag in (PRIVATE_PERCORE, PRIVATE_KERNEL)
+    if shared:
+        assert tag == PRIVATE_KERNEL
+
+    assert state_digest(systems[0]) == state_digest(systems[1])
+    for core in range(n_cores):
+        a, b = timer_sets[0][core], timer_sets[1][core]
+        assert repr(a.cycles) == repr(b.cycles)
+        assert a.instructions == b.instructions

@@ -96,3 +96,23 @@ class TestRunResult:
     def test_throughput_property(self):
         epoch = EpochResult(0, {0: 0.5, 1: 0.25}, {}, None)
         assert epoch.throughput == pytest.approx(0.75)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run(fast_config, engine="turbo")
+
+    def test_engines_constant(self):
+        from repro.sim.engine import ENGINES
+        assert ENGINES == ("event", "batch")
+
+    def test_batch_engine_matches_event(self, fast_config):
+        event = run(fast_config, epochs=3, engine="event")
+        batch = run(fast_config, epochs=3, engine="batch")
+        assert [e.misses for e in event.epochs] \
+            == [e.misses for e in batch.epochs]
+        assert [{c: repr(v) for c, v in e.ipcs.items()}
+                for e in event.epochs] \
+            == [{c: repr(v) for c, v in e.ipcs.items()}
+                for e in batch.epochs]

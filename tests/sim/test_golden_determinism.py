@@ -41,11 +41,14 @@ SEED = 7
 CONFIG = TINY.with_(epochs=3)
 
 
+@pytest.mark.parametrize("engine", ["event", "batch"])
 @pytest.mark.parametrize("scheme", sorted(GOLDEN))
-def test_golden_series_and_digest(scheme):
+def test_golden_series_and_digest(scheme, engine):
+    # Both engines must land on the fixture exactly: the batch engine is
+    # bit-identical by design, so it shares the event engine's golden.
     workload = Workload.from_mix(MIXES[0])
     system = build_system(scheme, CONFIG, workload, seed=SEED)
-    result = simulate(system, workload, CONFIG, seed=SEED)
+    result = simulate(system, workload, CONFIG, seed=SEED, engine=engine)
 
     expected = GOLDEN[scheme]
     assert len(result.epochs) == len(expected["epochs"])

@@ -74,3 +74,28 @@ def test_prime_alone_ipcs_matches_serial_cache(monkeypatch):
     monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
     for name, ipc in primed.items():
         assert experiment.alone_ipc(name, TINY, seed=3, epochs=2) == ipc
+
+
+def test_batch_engine_specs_match_event(monkeypatch):
+    event_specs = _specs()
+    batch_specs = [RunSpec(scheme=s.scheme, workload=s.workload,
+                           config=s.config, seed=s.seed, engine="batch")
+                   for s in event_specs]
+    event = run_many(event_specs, jobs=1)
+    batch = run_many(batch_specs, jobs=2)
+    for a, b in zip(event, batch):
+        assert [e.misses for e in a.epochs] == [e.misses for e in b.epochs]
+        assert [{c: repr(v) for c, v in e.ipcs.items()} for e in a.epochs] \
+            == [{c: repr(v) for c, v in e.ipcs.items()} for e in b.epochs]
+
+
+def test_chunksize_many_specs_ordered():
+    # More specs than workers exercises the explicit chunksize path; order
+    # and content must still match the serial run spec-for-spec.
+    workload = Workload.from_mix(MIXES[0])
+    specs = [RunSpec(scheme="(16:1:1)", workload=workload, config=TINY,
+                     seed=seed) for seed in range(9)]
+    serial = run_many(specs, jobs=1)
+    parallel = run_many(specs, jobs=3)
+    assert [r.mean_throughput for r in serial] \
+        == [r.mean_throughput for r in parallel]

@@ -126,3 +126,18 @@ class TestMakeThreads:
     def test_rejects_zero_threads(self):
         with pytest.raises(ValueError):
             make_threads(make_model(), 0, L2, L3)
+
+
+class TestGapDtype:
+    """Gaps ship to the batch engine as int32 — never a float or object
+    array — on both the geometric and the degenerate mean_gap=0 paths."""
+
+    def test_geometric_gaps_are_int32(self):
+        thread = SyntheticThread(make_model(mean_gap=3.0), 0, L2, L3, seed=9)
+        assert thread.generate(256).gaps.dtype == np.int32
+
+    def test_zero_mean_gap_is_int32(self):
+        thread = SyntheticThread(make_model(mean_gap=0.0), 0, L2, L3, seed=9)
+        trace = thread.generate(256)
+        assert trace.gaps.dtype == np.int32
+        assert trace.gaps.sum() == 0

@@ -22,7 +22,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import SMALL, MachineConfig, MorphConfig
 from repro.sim.engine import RunResult, simulate
 from repro.sim.experiment import build_system
-from repro.sim.parallel import RunSpec, resolve_jobs, run_many
+from repro.sim.parallel import RunSpec, resolve_jobs
+from repro.sim.supervisor import SweepPolicy, run_supervised
 from repro.sim.workload import Workload
 from repro.workloads import MIXES, PARSEC_BENCHMARKS
 
@@ -79,7 +80,9 @@ def run_batch(pairs: Sequence[Tuple[str, Workload]],
               epochs: Optional[int] = None, seed: int = SEED,
               morph: Optional[MorphConfig] = None,
               config: Optional[MachineConfig] = None,
-              jobs: Optional[int] = None) -> List[RunResult]:
+              jobs: Optional[int] = None,
+              run_timeout: Optional[float] = None,
+              retries: int = 0) -> List[RunResult]:
     """Run many (scheme, workload) pairs, optionally across processes.
 
     Worker count comes from ``jobs``, else the ``REPRO_JOBS`` environment
@@ -87,6 +90,13 @@ def run_batch(pairs: Sequence[Tuple[str, Workload]],
     :func:`run`.  Cached runs are reused; fresh results land in the same
     session cache, so a parallel warm-up benefits every later :func:`run`
     call.  Results come back in the order of ``pairs``.
+
+    The pool path runs under the sweep supervisor
+    (:func:`repro.sim.supervisor.run_supervised`): ``run_timeout`` kills
+    hung workers, ``retries`` re-attempts failures (bit-identical — the
+    run seed is reused), and every run that *did* complete is cached
+    before the first unrecoverable failure is re-raised, so a retried
+    batch only recomputes the runs that actually failed.
     """
     config = config or BENCH_CONFIG
     keys = [(scheme, workload.name, seed, epochs, morph, config)
@@ -96,8 +106,12 @@ def run_batch(pairs: Sequence[Tuple[str, Workload]],
         specs = [RunSpec(scheme=pairs[i][0], workload=pairs[i][1],
                          config=config, seed=seed, epochs=epochs, morph=morph)
                  for i in missing]
-        for i, result in zip(missing, run_many(specs, jobs=jobs)):
-            _RUN_CACHE[keys[i]] = result
+        policy = SweepPolicy(run_timeout=run_timeout, retries=retries)
+        report = run_supervised(specs, jobs=jobs, policy=policy)
+        for i, result in zip(missing, report.results):
+            if result is not None:  # salvage completions before raising
+                _RUN_CACHE[keys[i]] = result
+        report.raise_first()
     return [run(scheme, workload, epochs=epochs, seed=seed, morph=morph,
                 config=config)
             for scheme, workload in pairs]

@@ -1,0 +1,98 @@
+"""Chaos drill: SIGKILL a fault-injected supervised sweep, resume, verify.
+
+Launches a supervised (scheme x workload) sweep — every run injecting
+deterministic faults (an L3 slice failure every 2 epochs plus ACFV soft
+errors) — in a child process writing a crash-safe run journal, SIGKILLs the
+child as soon as the journal holds at least one completed run, resumes the
+sweep from the journal, and asserts the resumed results are bit-identical
+to an uninterrupted serial sweep.  Exits non-zero on any mismatch, so CI
+can run it as a chaos job.
+
+Run:  python examples/chaos_resume.py
+      (or with PYTHONPATH=src from the repository root)
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.baselines.static_topologies import STATIC_LABELS  # noqa: E402
+from repro.config import preset  # noqa: E402
+from repro.resilience import parse_fault_spec  # noqa: E402
+from repro.sim.parallel import RunSpec, run_many  # noqa: E402
+from repro.sim.supervisor import run_supervised  # noqa: E402
+from repro.sim.workload import Workload  # noqa: E402
+from repro.workloads import MIXES  # noqa: E402
+
+FAULTS = "disable-slice:every=2:level=l3,flip-acfv:at=1:bits=4,seed=13"
+
+
+def sweep_specs():
+    """The sweep under test: Figure 13's scheme set, faults injected."""
+    workload = Workload.from_mix(MIXES[4])
+    plan = parse_fault_spec(FAULTS)
+    return [RunSpec(scheme=scheme, workload=workload, config=preset("tiny"),
+                    seed=7, epochs=4, fault_plan=plan)
+            for scheme in STATIC_LABELS + ["morphcache"]]
+
+
+def series(result):
+    """Full-precision per-epoch series, for exact comparison."""
+    return [({c: repr(v) for c, v in e.ipcs.items()}, e.misses)
+            for e in result.epochs]
+
+
+def child_main(journal: str) -> int:
+    run_supervised(sweep_specs(), jobs=2, journal=journal)
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) > 2 and sys.argv[1] == "--child":
+        return child_main(sys.argv[2])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = pathlib.Path(tmp) / "chaos.jsonl"
+        print(f"[chaos] launching fault-injected sweep (journal {journal})")
+        child = subprocess.Popen(
+            [sys.executable, __file__, "--child", str(journal)],
+            start_new_session=True)
+
+        # SIGKILL the moment the journal holds a completed run — no
+        # graceful anything, exactly like an OOM kill or a power cut.
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if journal.exists() and '"kind":"run"' in journal.read_text():
+                break
+            if child.poll() is not None:
+                break
+            time.sleep(0.05)
+        try:
+            os.killpg(child.pid, signal.SIGKILL)
+            print("[chaos] SIGKILLed the sweep mid-run")
+        except ProcessLookupError:
+            print("[chaos] sweep finished before the kill; resuming anyway")
+        child.wait()
+
+        report = run_supervised(sweep_specs(), jobs=2, journal=journal,
+                                resume=True)
+        assert report.ok, f"resumed sweep not clean: {report.summary()}"
+        print(f"[chaos] resumed: {report.summary()}")
+
+        reference = run_many(sweep_specs(), jobs=1)
+        for index, (ref, got) in enumerate(zip(reference, report.results)):
+            assert series(ref) == series(got), (
+                f"run {index} ({ref.scheme_name}) diverged after resume")
+        print(f"[chaos] ok: {len(reference)} runs bit-identical to an "
+              "uninterrupted serial sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,15 +10,26 @@ Commands:
   [--checkpoint PATH [--checkpoint-every N] [--resume]]`` —
   simulate one scheme on one workload (``MIX 01``.. / a PARSEC name / an
   ``alone:<spec>`` benchmark) and print per-epoch results.
-- ``compare --workload W [--preset P] [--jobs N] [--engine {event,batch}]``
+- ``compare --workload W [--preset P] [--jobs N] [--engine {event,batch}]
+  [--run-timeout S] [--retries N] [--sweep-journal PATH [--resume-sweep]]``
   — run the Figure 13
   scheme set on one workload (optionally across N worker processes; the
   results are identical at any job count) and print normalised throughput.
+  The supervision flags run the sweep under
+  :func:`repro.sim.supervisor.run_supervised`: hung runs are killed after
+  ``--run-timeout`` seconds, failures retry up to ``--retries`` times
+  (bit-identical — retries reuse the run's seed), a spec that keeps
+  failing is quarantined while the rest of the sweep completes, and
+  ``--sweep-journal`` records every finished run so a killed sweep resumes
+  with ``--resume-sweep``, rerunning only the missing runs.
 
 Errors from the simulator exit with a distinct code per class so sweep
 scripts can tell failures apart: ``ConfigError`` 3,
 ``TopologyInvariantError`` 4, ``FaultInjectedError`` 5, ``CheckpointError``
-6, any other ``ReproError`` 2.
+6, ``WorkerCrashError`` 7, ``SweepInterrupted`` 8 (SIGINT/SIGTERM after
+draining in-flight runs and flushing the journal), any other ``ReproError``
+2.  A supervised ``compare`` that finishes with quarantined runs prints
+what it salvaged and exits 1.
 """
 
 from __future__ import annotations
@@ -31,9 +42,10 @@ from repro.baselines.static_topologies import STATIC_LABELS
 from repro.config import format_table3, preset
 from repro.interconnect.timing import ArbiterTimingModel
 from repro.render import render_series
-from repro.resilience import ReproError, parse_fault_spec
+from repro.resilience import ConfigError, ReproError, parse_fault_spec
 from repro.sim.experiment import run_scheme
 from repro.sim.parallel import RunSpec, resolve_jobs, run_many
+from repro.sim.supervisor import SweepPolicy, run_supervised
 from repro.sim.workload import Workload
 from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
 
@@ -100,19 +112,46 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     machine = preset(args.preset)
     workload = _workload_from_name(args.workload)
+    fault_plan = parse_fault_spec(args.faults) if args.faults else None
     schemes = STATIC_LABELS + ["morphcache"]
     specs = [RunSpec(scheme=scheme, workload=workload, config=machine,
-                     seed=args.seed, epochs=args.epochs, engine=args.engine)
+                     seed=args.seed, epochs=args.epochs, engine=args.engine,
+                     fault_plan=fault_plan)
              for scheme in schemes]
-    results = dict(zip(schemes, run_many(specs, jobs=args.jobs)))
-    base = results["(16:1:1)"].mean_throughput
     jobs = resolve_jobs(args.jobs)
+    if args.resume_sweep and not args.sweep_journal:
+        raise ConfigError("--resume-sweep", "requires --sweep-journal PATH")
+    supervised = (args.run_timeout is not None or args.retries > 0
+                  or args.sweep_journal is not None)
+    report = None
+    if supervised:
+        policy = SweepPolicy(run_timeout=args.run_timeout,
+                             retries=args.retries)
+        report = run_supervised(specs, jobs=args.jobs, policy=policy,
+                                journal=args.sweep_journal,
+                                resume=args.resume_sweep)
+        results = {scheme: result
+                   for scheme, result in zip(schemes, report.results)
+                   if result is not None}
+    else:
+        results = dict(zip(schemes, run_many(specs, jobs=args.jobs)))
+    baseline = results.get("(16:1:1)")
+    base = baseline.mean_throughput if baseline is not None else None
     suffix = f", {jobs} jobs" if jobs > 1 else ""
     print(f"{workload.name} ({args.preset} preset{suffix})")
     for scheme, result in sorted(results.items(),
                                  key=lambda kv: -kv[1].mean_throughput):
-        print(f"  {scheme:12} {result.mean_throughput:8.3f}  "
-              f"{result.mean_throughput / base:6.3f}x")
+        relative = (f"{result.mean_throughput / base:6.3f}x"
+                    if base else "   n/a")
+        print(f"  {scheme:12} {result.mean_throughput:8.3f}  {relative}")
+    if report is not None:
+        for index in report.quarantined:
+            outcome = report.outcomes[index]
+            print(f"  {schemes[index]:12} quarantined after "
+                  f"{outcome.attempts} attempt(s): {outcome.error}",
+                  file=sys.stderr)
+        print(f"sweep: {report.summary()}")
+        return 0 if report.ok else 1
     return 0
 
 
@@ -165,6 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--engine", choices=("event", "batch"), default="event",
         help="epoch engine for every run of the sweep (bit-identical)")
+    compare_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec applied to every run of the sweep "
+             "(same syntax as 'run --faults')")
+    compare_parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="S",
+        help="wall-clock seconds per run before the supervisor kills the "
+             "hung worker and retries/quarantines the run")
+    compare_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="attempts beyond the first before a failing run is "
+             "quarantined (retries reuse the run's seed: bit-identical)")
+    compare_parser.add_argument(
+        "--sweep-journal", default=None, metavar="PATH",
+        help="append each completed run to a crash-safe JSONL journal; a "
+             "killed sweep resumes from it with --resume-sweep")
+    compare_parser.add_argument(
+        "--resume-sweep", action="store_true",
+        help="load completed runs from --sweep-journal and execute only "
+             "the missing ones (bit-identical to an uninterrupted sweep)")
     return parser
 
 

@@ -16,7 +16,9 @@ from repro.resilience.errors import (
     ConfigError,
     FaultInjectedError,
     ReproError,
+    SweepInterrupted,
     TopologyInvariantError,
+    WorkerCrashError,
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
@@ -43,6 +45,8 @@ __all__ = [
     "TopologyInvariantError",
     "FaultInjectedError",
     "CheckpointError",
+    "WorkerCrashError",
+    "SweepInterrupted",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultRule",

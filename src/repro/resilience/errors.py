@@ -11,7 +11,12 @@ distinguish *what class of thing went wrong* without parsing messages:
 - :class:`FaultInjectedError` — an injected fault made forward progress
   impossible (e.g. a fault plan that disables every slice of a level);
 - :class:`CheckpointError` — a checkpoint file is missing, corrupt, or was
-  written by a different run than the one resuming from it.
+  written by a different run than the one resuming from it (sweep journals
+  reuse this class: a journal is the sweep-level checkpoint);
+- :class:`WorkerCrashError` — a sweep worker *process* died (segfault,
+  SIGKILL, the OOM killer, an unpicklable crash) instead of raising;
+- :class:`SweepInterrupted` — a supervised sweep received SIGINT/SIGTERM,
+  drained its in-flight runs, flushed its journal and stopped early.
 
 Each class carries a distinct process exit code (``exit_code``) used by
 ``python -m repro`` so CI failures are diagnosable from the status alone.
@@ -63,3 +68,30 @@ class CheckpointError(ReproError):
     """A checkpoint could not be loaded, verified, or resumed from."""
 
     exit_code = 6
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died without raising a Python exception.
+
+    Wraps ``concurrent.futures.process.BrokenProcessPool`` (and worker
+    ``MemoryError``) so a crashed/OOM-killed worker surfaces as a typed,
+    retryable simulator error instead of a raw traceback.
+    """
+
+    exit_code = 7
+
+
+class SweepInterrupted(ReproError):
+    """A supervised sweep stopped early on SIGINT/SIGTERM.
+
+    Raised only *after* the supervisor has drained in-flight runs and
+    flushed the run journal, so everything completed before the signal is
+    on disk and resumable.  ``report`` carries the partial
+    :class:`~repro.sim.supervisor.SweepReport` when one exists.
+    """
+
+    exit_code = 8
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report

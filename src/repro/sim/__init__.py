@@ -6,6 +6,9 @@
 - :mod:`~repro.sim.oracle` — the one-to-one footprint estimator of Figure 5.
 - :mod:`~repro.sim.experiment` — scheme registry, run orchestration and the
   alone-IPC cache used by the speedup metrics.
+- :mod:`~repro.sim.parallel` — the process-parallel sweep runner.
+- :mod:`~repro.sim.supervisor` — supervised, crash-safe sweep execution:
+  timeouts, retries, quarantine, and resumable run journals.
 """
 
 from repro.sim.workload import Workload
@@ -16,6 +19,12 @@ from repro.sim.experiment import (
     alone_ipcs,
     build_system,
     run_scheme,
+)
+from repro.sim.parallel import RunSpec, run_many
+from repro.sim.supervisor import (
+    SweepPolicy,
+    SweepReport,
+    run_supervised,
 )
 
 __all__ = [
@@ -28,4 +37,9 @@ __all__ = [
     "build_system",
     "run_scheme",
     "alone_ipcs",
+    "RunSpec",
+    "run_many",
+    "SweepPolicy",
+    "SweepReport",
+    "run_supervised",
 ]

@@ -153,7 +153,21 @@ def alone_ipcs(
     config: MachineConfig,
     seed: int = 0,
     epochs: int = 2,
+    jobs: Optional[int] = None,
 ) -> List[float]:
-    """Alone-run IPC for each benchmark, in the given (core) order."""
+    """Alone-run IPC for each benchmark, in the given (core) order.
+
+    With ``jobs`` (or ``REPRO_JOBS``) > 1 the missing runs are computed in
+    the supervised worker pool via
+    :func:`repro.sim.parallel.prime_alone_ipcs` — any runs that complete
+    before a failure still land in the cache, so a retried call only
+    recomputes the failed benchmark.
+    """
+    from repro.sim.parallel import prime_alone_ipcs, resolve_jobs
+
+    if resolve_jobs(jobs) > 1:
+        primed = prime_alone_ipcs(benchmark_names, config, seed=seed,
+                                  epochs=epochs, jobs=jobs)
+        return [primed[name] for name in benchmark_names]
     return [alone_ipc(name, config, seed=seed, epochs=epochs)
             for name in benchmark_names]

@@ -18,6 +18,14 @@ would.  :func:`run_many` exploits that with a
 - ``jobs=1`` (or a single spec) runs serially in-process: bit-identical to
   the pool path and friendlier to debuggers and coverage tools.
 
+The multi-process path delegates to :mod:`repro.sim.supervisor` in strict
+mode, which preserves the raise-on-first-failure contract above while
+adding crash containment (a dead worker surfaces as a typed
+:class:`~repro.resilience.errors.WorkerCrashError` instead of a raw
+``BrokenProcessPool`` traceback) and, when asked, timeouts, retries,
+quarantine and a resumable run journal — see :func:`run_many`'s
+supervision parameters and :func:`repro.sim.supervisor.run_supervised`.
+
 The number of workers comes from the ``jobs`` argument, else the
 ``REPRO_JOBS`` environment variable, else 1 (serial).  Anything spawned in
 a worker inherits only the spec — no shared mutable state — which is what
@@ -27,11 +35,12 @@ makes the results independent of parallelism.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import MachineConfig, MorphConfig
+from repro.resilience.errors import ConfigError
+from repro.resilience.faults import FaultPlan
 from repro.sim.engine import RunResult
 from repro.sim.workload import Workload
 
@@ -56,6 +65,7 @@ class RunSpec:
     warmup_epochs: int = 1
     morph: Optional[MorphConfig] = None
     engine: str = "event"
+    fault_plan: Optional[FaultPlan] = None
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -72,11 +82,25 @@ def derive_seed(base_seed: int, index: int) -> int:
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """The worker count to use: argument, else ``REPRO_JOBS``, else 1."""
+    """The worker count to use: argument, else ``REPRO_JOBS``, else 1.
+
+    Raises:
+        ConfigError: ``jobs < 1``, or ``REPRO_JOBS`` is malformed/out of
+            range — named after the offending source so ``REPRO_JOBS=0
+            repro compare`` exits with the config exit code and a message
+            pointing at the variable.  (``ConfigError`` is a ``ValueError``
+            subclass, so existing ``except ValueError`` guards still work.)
+    """
     if jobs is None:
-        jobs = int(os.environ.get(JOBS_ENV, "1") or "1")
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+        raw = os.environ.get(JOBS_ENV, "1") or "1"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(JOBS_ENV, f"must be an integer, got {raw!r}") from None
+        if jobs < 1:
+            raise ConfigError(JOBS_ENV, f"must be >= 1, got {jobs}")
+    elif jobs < 1:
+        raise ConfigError("jobs", f"must be >= 1, got {jobs}")
     return jobs
 
 
@@ -94,16 +118,29 @@ def _run_spec(spec: RunSpec) -> RunResult:
         warmup_epochs=spec.warmup_epochs,
         morph=spec.morph,
         engine=spec.engine,
+        fault_plan=spec.fault_plan,
     )
 
 
-def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[RunResult]:
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    policy=None,
+    journal=None,
+    resume: bool = False,
+) -> List[RunResult]:
     """Run a sweep, parallel across processes, results in input order.
 
     Args:
         specs: the runs to perform.
         jobs: worker processes; defaults to ``REPRO_JOBS`` (else serial).
             The pool never exceeds the number of specs.
+        policy: optional :class:`~repro.sim.supervisor.SweepPolicy` adding
+            per-run timeouts and retries (retried runs reuse their original
+            seed, so results stay bit-identical to a serial sweep).
+        journal: optional path of a crash-safe JSONL run journal; with
+            ``resume=True`` completed runs are loaded from it and only the
+            missing ones execute.
 
     Returns:
         One :class:`RunResult` per spec, in the order given — identical,
@@ -111,20 +148,21 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[RunRe
 
     Raises:
         Whatever a worker raised (e.g. ``ValueError`` for an unknown
-        scheme); the pool is torn down, no run is silently dropped.
+        scheme); the pool is torn down, no run is silently dropped.  A
+        worker that *dies* raises
+        :class:`~repro.resilience.errors.WorkerCrashError` instead of a raw
+        ``BrokenProcessPool``.  For quarantine-and-continue semantics call
+        :func:`repro.sim.supervisor.run_supervised` directly.
     """
     specs = list(specs)
     jobs = min(resolve_jobs(jobs), max(len(specs), 1))
-    if jobs <= 1:
+    if jobs <= 1 and policy is None and journal is None:
         return [_run_spec(spec) for spec in specs]
-    # Explicit chunksize: executor.map defaults to 1, which serialises a
-    # spec per IPC round trip.  Runs are coarse (whole simulations) so the
-    # pickling overhead is minor, but batching specs per worker still trims
-    # dispatch latency on large sweeps — and collection order (and thus the
-    # results) is unaffected.
-    chunksize = max(1, len(specs) // (jobs * 4))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_run_spec, specs, chunksize=chunksize))
+    from repro.sim.supervisor import run_supervised  # local: avoid cycle
+
+    report = run_supervised(specs, jobs=jobs, policy=policy, journal=journal,
+                            resume=resume, strict=True)
+    return report.results
 
 
 # -- alone-run IPC priming --------------------------------------------------
@@ -156,8 +194,13 @@ def prime_alone_ipcs(
     :func:`~repro.sim.experiment.alone_ipc` calls are hits — the cache is
     populated from worker *results* in the parent, never mutated from
     inside a worker (worker processes see copies).
+
+    Failures do not discard siblings: every alone run that *did* complete
+    seeds the cache before the first failure is re-raised, so a retried
+    priming pass recomputes only the benchmark(s) that actually failed.
     """
     from repro.sim import experiment
+    from repro.sim.supervisor import run_supervised  # local: avoid cycle
 
     names: List[str] = []
     for name in benchmark_names:  # preserve order, drop duplicates
@@ -165,11 +208,15 @@ def prime_alone_ipcs(
             names.append(name)
     missing = [n for n in names
                if not experiment.alone_ipc_cached(n, config, seed, epochs)]
-    results = run_many(
-        [_alone_ipc_spec(n, config, seed, epochs) for n in missing], jobs=jobs)
-    for name, result in zip(missing, results):
-        experiment.seed_alone_cache(name, config, seed, epochs,
-                                    result.mean_ipcs()[0])
+    report = run_supervised(
+        [_alone_ipc_spec(n, config, seed, epochs) for n in missing],
+        jobs=jobs) if missing else None
+    if report is not None:
+        for name, result in zip(missing, report.results):
+            if result is not None:
+                experiment.seed_alone_cache(name, config, seed, epochs,
+                                            result.mean_ipcs()[0])
+        report.raise_first()  # after salvage, surface the first failure
     return {n: experiment.alone_ipc(n, config, seed=seed, epochs=epochs)
             for n in names}
 

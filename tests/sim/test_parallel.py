@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import TINY
+from repro.resilience.errors import ConfigError
 from repro.sim import experiment
 from repro.sim.parallel import (
     RunSpec,
@@ -55,6 +56,19 @@ def test_resolve_jobs(monkeypatch):
         resolve_jobs(0)
 
 
+def test_resolve_jobs_routes_through_config_error(monkeypatch):
+    # Bad values are ConfigError (the config exit code, field named), not a
+    # bare ValueError — while staying catchable as ValueError.
+    with pytest.raises(ConfigError, match="jobs"):
+        resolve_jobs(0)
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ConfigError, match="REPRO_JOBS"):
+        resolve_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "banana")
+    with pytest.raises(ConfigError, match="REPRO_JOBS"):
+        resolve_jobs()
+
+
 def test_derive_seed_stable_and_distinct():
     seeds = [derive_seed(2011, i) for i in range(64)]
     assert seeds == [derive_seed(2011, i) for i in range(64)]  # stable
@@ -89,9 +103,10 @@ def test_batch_engine_specs_match_event(monkeypatch):
             == [{c: repr(v) for c, v in e.ipcs.items()} for e in b.epochs]
 
 
-def test_chunksize_many_specs_ordered():
-    # More specs than workers exercises the explicit chunksize path; order
-    # and content must still match the serial run spec-for-spec.
+def test_many_specs_ordered():
+    # More specs than workers exercises the supervisor's throttled
+    # submission; order and content must still match the serial run
+    # spec-for-spec.
     workload = Workload.from_mix(MIXES[0])
     specs = [RunSpec(scheme="(16:1:1)", workload=workload, config=TINY,
                      seed=seed) for seed in range(9)]
@@ -99,3 +114,53 @@ def test_chunksize_many_specs_ordered():
     parallel = run_many(specs, jobs=3)
     assert [r.mean_throughput for r in serial] \
         == [r.mean_throughput for r in parallel]
+
+
+def test_run_many_journal_and_resume(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    specs = _specs()
+    first = run_many(specs, jobs=2, journal=journal)
+    assert journal.exists()
+    resumed = run_many(specs, jobs=2, journal=journal, resume=True)
+    for a, b in zip(first, resumed):
+        assert [{c: repr(v) for c, v in e.ipcs.items()} for e in a.epochs] \
+            == [{c: repr(v) for c, v in e.ipcs.items()} for e in b.epochs]
+
+
+def test_prime_alone_ipcs_salvages_siblings_on_failure(monkeypatch):
+    # One benchmark's worker failing must not discard the siblings that
+    # completed: they are seeded into the cache before the failure
+    # surfaces, so a retried priming pass recomputes only the failed one.
+    monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
+    real_run_scheme = experiment.run_scheme
+
+    def failing_run_scheme(scheme, workload, config, **kwargs):
+        if workload.name == "milc (alone)":
+            raise RuntimeError("injected worker failure")
+        return real_run_scheme(scheme, workload, config, **kwargs)
+
+    # Workers are forked after the monkeypatch, so they inherit it.
+    monkeypatch.setattr(experiment, "run_scheme", failing_run_scheme)
+    with pytest.raises(RuntimeError, match="injected worker failure"):
+        prime_alone_ipcs(["mcf", "milc", "gcc"], TINY, seed=3, epochs=2,
+                         jobs=2)
+    assert experiment.alone_ipc_cached("mcf", TINY, 3, 2)
+    assert experiment.alone_ipc_cached("gcc", TINY, 3, 2)
+    assert not experiment.alone_ipc_cached("milc", TINY, 3, 2)
+
+    # The retried pass recomputes milc only — and matches a from-scratch
+    # serial computation exactly.
+    monkeypatch.setattr(experiment, "run_scheme", real_run_scheme)
+    primed = prime_alone_ipcs(["mcf", "milc", "gcc"], TINY, seed=3, epochs=2,
+                              jobs=2)
+    monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
+    for name, ipc in primed.items():
+        assert experiment.alone_ipc(name, TINY, seed=3, epochs=2) == ipc
+
+
+def test_alone_ipcs_parallel_matches_serial(monkeypatch):
+    monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
+    parallel = experiment.alone_ipcs(["mcf", "milc"], TINY, seed=3, jobs=2)
+    monkeypatch.setattr(experiment, "_ALONE_CACHE", {})
+    serial = experiment.alone_ipcs(["mcf", "milc"], TINY, seed=3)
+    assert parallel == serial

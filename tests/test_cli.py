@@ -65,6 +65,20 @@ class TestCommands:
         assert main(args + ["--resume"]) == 0
         assert capsys.readouterr().out == first
 
+    def test_compare_supervised_journal_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        args = ["compare", "--workload", "MIX 01", "--preset", "tiny",
+                "--epochs", "1", "--retries", "1", "--sweep-journal", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "sweep: 6/6 runs ok" in first
+        # Resuming the finished sweep reruns nothing and prints the same
+        # table (modulo the sweep summary's timing line).
+        assert main(args + ["--resume-sweep"]) == 0
+        resumed = capsys.readouterr().out
+        assert "6 resumed from journal" in resumed
+        assert resumed.split("sweep:")[0] == first.split("sweep:")[0]
+
 
 class TestExitCodes:
     def test_bad_fault_spec_exits_3(self, capsys):
@@ -93,13 +107,44 @@ class TestExitCodes:
                      "--epochs", "1", "--faults", spec])
         assert code == 5
 
+    def test_repro_jobs_zero_exits_config_code(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        code = main(["compare", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err
+
+    def test_repro_jobs_malformed_exits_config_code(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        code = main(["compare", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1"])
+        assert code == 3
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_resume_sweep_without_journal_exits_3(self, capsys):
+        code = main(["compare", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--resume-sweep"])
+        assert code == 3
+        assert "--sweep-journal" in capsys.readouterr().err
+
+    def test_resume_sweep_from_missing_journal_exits_6(self, tmp_path,
+                                                       capsys):
+        code = main(["compare", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1",
+                     "--sweep-journal", str(tmp_path / "absent.jsonl"),
+                     "--resume-sweep"])
+        assert code == 6
+        assert "no sweep journal" in capsys.readouterr().err
+
     def test_exit_codes_are_distinct(self):
         from repro.resilience.errors import (
             CheckpointError, ConfigError, FaultInjectedError, ReproError,
-            TopologyInvariantError)
+            SweepInterrupted, TopologyInvariantError, WorkerCrashError)
         codes = [cls.exit_code for cls in
                  (ReproError, ConfigError, TopologyInvariantError,
-                  FaultInjectedError, CheckpointError)]
+                  FaultInjectedError, CheckpointError, WorkerCrashError,
+                  SweepInterrupted)]
         assert len(set(codes)) == len(codes)
         assert all(code != 0 for code in codes)
 

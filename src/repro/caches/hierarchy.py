@@ -38,6 +38,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 from repro.caches.cache import CacheSlice, Entry
 from repro.caches.stats import HierarchyStats
 from repro.config import MachineConfig
+from repro.obs import metrics as obs_metrics
 from repro.resilience.errors import FaultInjectedError
 
 L2 = "l2"
@@ -208,6 +209,22 @@ class CacheHierarchy:
                 self._l3_group_of[slice_id] = group
         self._recompute_search_orders()
         self._repair_after_reconfiguration()
+        reg = obs_metrics.REGISTRY
+        if reg.enabled:
+            reg.counter("repro_topology_changes_total",
+                        "Topology installs via set_topology").inc()
+            groups_gauge = reg.gauge("repro_topology_groups",
+                                     "Installed slice groups per level",
+                                     labels=("level",))
+            groups_gauge.labels(level=L2).set(len(self._l2_groups))
+            groups_gauge.labels(level=L3).set(len(self._l3_groups))
+
+    def topology(self) -> Dict[str, List[Tuple[int, ...]]]:
+        """The installed slice grouping per level (copies, sorted members)."""
+        return {
+            L2: [tuple(sorted(g)) for g in self._l2_groups],
+            L3: [tuple(sorted(g)) for g in self._l3_groups],
+        }
 
     def _recompute_search_orders(self) -> None:
         """Rebuild the per-level bindings (orders + fast-path slices)."""
@@ -276,6 +293,11 @@ class CacheHierarchy:
                 self._observer.on_evict(level, slice_id, entry.line, entry.owner)
         self._recompute_search_orders()
         self._repair_after_reconfiguration()
+        reg = obs_metrics.REGISTRY
+        if reg.enabled:
+            reg.gauge("repro_faulted_slices",
+                      "Cache slices taken offline by injected faults",
+                      labels=("level",)).labels(level=level).set(len(slice_ids))
 
     def _repair_after_reconfiguration(self) -> None:
         """Evict lines a topology change made unreachable or non-inclusive.

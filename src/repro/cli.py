@@ -6,11 +6,20 @@ Commands:
 - ``table2`` — print the arbiter synthesis table.
 - ``list`` — available mixes, PARSEC benchmarks and schemes.
 - ``run --workload W [--scheme S] [--preset P] [--epochs N] [--seed K]
-  [--engine {event,batch}] [--faults SPEC]
+  [--engine {event,batch}] [--faults SPEC] [--trace PATH] [--metrics PATH]
   [--checkpoint PATH [--checkpoint-every N] [--resume]]`` —
   simulate one scheme on one workload (``MIX 01``.. / a PARSEC name / an
-  ``alone:<spec>`` benchmark) and print per-epoch results.
+  ``alone:<spec>`` benchmark) and print per-epoch results.  ``--trace``
+  records a structured JSONL trace of the run (render it with ``repro
+  trace``); ``--metrics`` enables the metrics registry for the run and
+  writes the Prometheus text exposition (or a JSON dump when the path ends
+  in ``.json``).
+- ``trace PATH`` — render the reconfiguration timeline of a recorded
+  trace: which cores merged/split at which epoch, why (the triggering
+  ACFV/decision inputs), plus faults, guard interventions and the
+  throughput trend.
 - ``compare --workload W [--preset P] [--jobs N] [--engine {event,batch}]
+  [--trace DIR]
   [--run-timeout S] [--retries N] [--sweep-journal PATH [--resume-sweep]]``
   — run the Figure 13
   scheme set on one workload (optionally across N worker processes; the
@@ -35,12 +44,16 @@ what it salvaged and exits 1.
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import re
 import sys
 from typing import List, Optional
 
 from repro.baselines.static_topologies import STATIC_LABELS
 from repro.config import format_table3, preset
 from repro.interconnect.timing import ArbiterTimingModel
+from repro.obs import REGISTRY
 from repro.render import render_series
 from repro.resilience import ConfigError, ReproError, parse_fault_spec
 from repro.sim.experiment import run_scheme
@@ -84,19 +97,42 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(path: str) -> None:
+    """Dump the registry: Prometheus text, or JSON for ``*.json`` paths."""
+    if path.endswith(".json"):
+        payload = json.dumps(REGISTRY.dump_json(), indent=2, sort_keys=True)
+    else:
+        payload = REGISTRY.expose_text()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+
+
+def trace_filename(scheme: str) -> str:
+    """A filesystem-safe trace filename for one scheme of a sweep."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", scheme).strip("-") + ".jsonl"
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     machine = preset(args.preset)
     if args.epochs is not None:
         machine = machine.with_(epochs=args.epochs)
     workload = _workload_from_name(args.workload)
     fault_plan = parse_fault_spec(args.faults) if args.faults else None
-    result = run_scheme(args.scheme, workload, machine, seed=args.seed,
-                        epochs=args.epochs,
-                        fault_plan=fault_plan,
-                        checkpoint_path=args.checkpoint,
-                        checkpoint_every=args.checkpoint_every,
-                        resume=args.resume,
-                        engine=args.engine)
+    if args.metrics:
+        REGISTRY.reset()
+        REGISTRY.enable()
+    try:
+        result = run_scheme(args.scheme, workload, machine, seed=args.seed,
+                            epochs=args.epochs,
+                            fault_plan=fault_plan,
+                            checkpoint_path=args.checkpoint,
+                            checkpoint_every=args.checkpoint_every,
+                            resume=args.resume,
+                            engine=args.engine,
+                            trace_path=args.trace)
+    finally:
+        if args.metrics:
+            REGISTRY.disable()
     print(f"{args.scheme} on {workload.name} "
           f"({args.preset} preset, seed {args.seed})")
     if fault_plan:
@@ -106,6 +142,23 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"topology {epoch.topology_label}")
     print(render_series(result.throughput_series(), label="  trend "))
     print(f"mean throughput: {result.mean_throughput:.3f}")
+    if args.trace:
+        print(f"trace written: {args.trace} (render with 'repro trace')")
+    if args.metrics:
+        _write_metrics(args.metrics)
+        print(f"metrics written: {args.metrics}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.timeline import render_timeline
+    from repro.obs.trace import load_trace
+
+    try:
+        records = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        raise ConfigError("trace", f"cannot read {args.path}: {exc}")
+    print(render_timeline(records))
     return 0
 
 
@@ -114,9 +167,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = _workload_from_name(args.workload)
     fault_plan = parse_fault_spec(args.faults) if args.faults else None
     schemes = STATIC_LABELS + ["morphcache"]
+    if args.trace:
+        os.makedirs(args.trace, exist_ok=True)
     specs = [RunSpec(scheme=scheme, workload=workload, config=machine,
                      seed=args.seed, epochs=args.epochs, engine=args.engine,
-                     fault_plan=fault_plan)
+                     fault_plan=fault_plan,
+                     trace_path=(os.path.join(args.trace,
+                                              trace_filename(scheme))
+                                 if args.trace else None))
              for scheme in schemes]
     jobs = resolve_jobs(args.jobs)
     if args.resume_sweep and not args.sweep_journal:
@@ -144,6 +202,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         relative = (f"{result.mean_throughput / base:6.3f}x"
                     if base else "   n/a")
         print(f"  {scheme:12} {result.mean_throughput:8.3f}  {relative}")
+    if args.trace:
+        print(f"traces written: {args.trace}/ (render with 'repro trace')")
     if report is not None:
         for index in report.quarantined:
             outcome = report.outcomes[index]
@@ -190,6 +250,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("event", "batch"), default="event",
         help="epoch engine: per-access event loop (default) or the "
              "set-partitioned batch engine (bit-identical, faster)")
+    run_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured JSONL trace of the run to PATH (render "
+             "the reconfiguration timeline with 'repro trace PATH')")
+    run_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="enable the metrics registry for the run and write the "
+             "Prometheus text exposition to PATH (JSON dump if PATH ends "
+             "in .json)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="render the timeline of a recorded trace")
+    trace_parser.add_argument("path", help="JSONL trace from 'run --trace'")
 
     compare_parser = sub.add_parser("compare",
                                     help="compare the Figure 13 scheme set")
@@ -208,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="fault-injection spec applied to every run of the sweep "
              "(same syntax as 'run --faults')")
+    compare_parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="record one JSONL trace per scheme into DIR "
+             "(e.g. DIR/morphcache.jsonl, DIR/16-1-1.jsonl)")
     compare_parser.add_argument(
         "--run-timeout", type=float, default=None, metavar="S",
         help="wall-clock seconds per run before the supervisor kills the "
@@ -232,6 +309,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "list": cmd_list,
     "run": cmd_run,
+    "trace": cmd_trace,
     "compare": cmd_compare,
 }
 
@@ -245,6 +323,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # so sweep scripts can distinguish failure modes.
         print(f"error: {exc}", file=sys.stderr)
         return exc.exit_code
+    except BrokenPipeError:
+        # `repro trace ... | head` closes stdout early; exit quietly like
+        # any well-behaved filter instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

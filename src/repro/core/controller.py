@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.caches.hierarchy import CacheHierarchy
 from repro.config import MachineConfig, MorphConfig
 from repro.core.acfv import AcfvBank
+from repro.obs import metrics as obs_metrics
 from repro.core.decisions import DecisionEngine
 from repro.core.qos import MsatThrottler
 from repro.core.topology import Group, TopologyState
@@ -76,6 +77,12 @@ class MorphCacheController:
         self.guard.remember_good(self.topology)
         self.events: List[ReconfigEvent] = []
         self.hierarchy: Optional[CacheHierarchy] = None
+        self.tracer = None
+        """Optional :class:`~repro.obs.trace.TraceRecorder` installed by the
+        simulation engine for the duration of a traced run.  The controller
+        is the only component that must emit from *inside* the epoch
+        boundary: the ACFV decision inputs are destroyed by ``reset_all``
+        before the engine regains control."""
         self._epoch = 0
         self._last_misses: Dict[int, int] = {}
         self._last_merged_cores: Set[int] = set()
@@ -99,6 +106,7 @@ class MorphCacheController:
         """Reconfigure at an epoch boundary; returns this epoch's events."""
         if self.hierarchy is None:
             raise RuntimeError("controller not attached to a hierarchy")
+        guard_events_before = len(self.guard.events)
         epoch_misses = self._epoch_misses()
 
         # QoS feedback on last epoch's merges (Section 5.3).
@@ -156,6 +164,42 @@ class MorphCacheController:
             for e in new_events
         ]
         self.events.extend(new_events)
+
+        # The trace must capture the *triggering* decision inputs, and the
+        # ACFVs are about to be reset — snapshot them here, not later.
+        if self.tracer is not None and new_events:
+            l2_lines = self.config.l2_slice.lines
+            l3_lines = self.config.l3_slice.lines
+            for event in new_events:
+                cores = sorted({c for g in event.groups for c in g})
+                lines = l2_lines if event.level == "l2" else l3_lines
+                self.tracer.emit(
+                    "reconfig",
+                    epoch=event.epoch,
+                    action=event.kind,
+                    level=event.level,
+                    groups=[sorted(g) for g in event.groups],
+                    reason=event.reason,
+                    label=event.resulting_label,
+                    acfv_ones={str(c): self.bank.acfv(event.level, c).ones
+                               for c in cores},
+                    utilization={str(c): round(self.bank.group_utilization(
+                        event.level, (c,), lines), 3) for c in cores},
+                    epoch_misses={str(c): epoch_misses.get(c, 0)
+                                  for c in cores},
+                )
+        reg = obs_metrics.REGISTRY
+        if reg.enabled:
+            for event in new_events:
+                reg.counter("repro_reconfig_events_total",
+                            "Merge/split decisions taken",
+                            labels=("action", "level")).labels(
+                    action=event.kind, level=event.level).inc()
+            for guard_event in self.guard.events[guard_events_before:]:
+                reg.counter("repro_guard_interventions_total",
+                            "Topology-guard rollbacks/freezes/fallbacks",
+                            labels=("action",)).labels(
+                    action=guard_event.action).inc()
 
         self.hierarchy.set_topology(
             self.topology.groups("l2"), self.topology.groups("l3")

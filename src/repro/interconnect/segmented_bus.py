@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Set, Tuple
 
+from repro.obs import metrics as obs_metrics
+
 
 class SegmentedBus:
     """A bus of ``n`` segments and ``n - 1`` inter-segment switches."""
@@ -50,6 +52,13 @@ class SegmentedBus:
             lo, hi = min(group), max(group)
             for switch in range(lo, hi):
                 self._switch_enabled[switch] = True
+        reg = obs_metrics.REGISTRY
+        if reg.enabled:
+            reg.counter("repro_bus_configurations_total",
+                        "Segmented-bus switch reconfigurations").inc()
+            reg.gauge("repro_bus_domains",
+                      "Isolated electrical domains on the bus"
+                      ).set(len(self.domains()))
 
     def set_switch(self, index: int, enabled: bool) -> None:
         """Directly drive one switch (tests and the arbiter harness)."""
@@ -101,13 +110,26 @@ class SegmentedBus:
         """
         granted: List[int] = []
         busy: Set[Tuple[int, ...]] = set()
+        dropped = 0
         for requester in sorted(requesters):
             if requester in self.dropped:
+                dropped += 1
                 continue
             domain = self.domain_of(requester)
             if domain not in busy:
                 busy.add(domain)
                 granted.append(requester)
+        reg = obs_metrics.REGISTRY
+        if reg.enabled and requesters:
+            outcomes = reg.counter(
+                "repro_bus_transactions_total",
+                "Bus arbitration outcomes", labels=("outcome",))
+            outcomes.labels(outcome="granted").inc(len(granted))
+            denied = len(requesters) - len(granted) - dropped
+            if denied:
+                outcomes.labels(outcome="deferred").inc(denied)
+            if dropped:
+                outcomes.labels(outcome="dropped").inc(dropped)
         return granted
 
     def formation(self) -> Tuple[int, ...]:

@@ -24,4 +24,7 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     var_y = sum((y - mean_y) ** 2 for y in ys)
     if var_x == 0 or var_y == 0:
         return 0.0
-    return cov / math.sqrt(var_x * var_y)
+    # sqrt each variance before multiplying: the product var_x * var_y can
+    # underflow to 0.0 for tiny (but nonzero) variances, which would divide
+    # by zero here.
+    return cov / (math.sqrt(var_x) * math.sqrt(var_y))

@@ -1,0 +1,40 @@
+"""Observability: structured tracing, metrics, reconfiguration timelines.
+
+Zero-overhead-when-disabled by construction: the metrics registry starts
+disabled and every instrumented site guards on ``REGISTRY.enabled`` at
+epoch/run granularity; the trace recorder only exists when a caller passes
+one in, and the engines consult it only at epoch boundaries (the hot loops
+in :func:`repro.sim.engine.run_epoch` and :mod:`repro.sim.batch` are
+untouched).  Both engines emit byte-identical traces for identical runs —
+the bit-identical guarantee extended to observability (DESIGN.md §9).
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    CardinalityError,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    SCHEMA_VERSION,
+    TraceRecorder,
+    canonical_line,
+    load_trace,
+)
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "TraceRecorder",
+    "canonical_line",
+    "load_trace",
+]

@@ -1,0 +1,367 @@
+"""A lightweight metrics registry: counters, gauges and histograms.
+
+The registry is the aggregate side of the observability layer (the trace
+recorder in :mod:`repro.obs.trace` is the event side).  Instrumented
+modules — the simulation engine, the batch engine, the hierarchy, the
+controller, the segmented bus and the sweep supervisor — all guard their
+updates with ``if REGISTRY.enabled:``, and every hook site sits on a
+per-epoch or per-run boundary, never inside the per-access hot loop, so the
+disabled default costs one attribute load per epoch at most.
+
+Naming convention (see DESIGN.md §9): ``repro_<subsystem>_<what>_<unit>``,
+with ``_total`` for counters, plain nouns for gauges and ``_seconds`` (or
+another unit suffix) for histograms.  Label names are static per metric and
+the number of distinct label-value sets is capped (:class:`CardinalityError`
+on overflow) so an instrumentation bug cannot grow memory without bound.
+
+Exposition: :meth:`MetricsRegistry.expose_text` renders the Prometheus text
+format (``# HELP`` / ``# TYPE`` plus one sample line per series, cumulative
+``_bucket``/``_sum``/``_count`` for histograms); :meth:`MetricsRegistry.
+dump_json` returns the same data as a plain JSON-serialisable dict.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (bad name, type clash, negative inc...)."""
+
+
+class CardinalityError(MetricError):
+    """A metric exceeded its distinct label-value-set cap."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, in seconds — sized for per-run wall clocks.
+DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+                   60.0, 120.0, 300.0)
+
+
+def _format_value(value: float) -> str:
+    """A number in Prometheus sample syntax (ints without a trailing .0)."""
+    if isinstance(value, bool):  # bools are ints; never wanted here
+        value = int(value)
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{_escape_label(v)}"'
+                     for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+class _CounterSeries:
+    """One (label-values) series of a counter: a monotone float."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class _GaugeSeries:
+    """One series of a gauge: a float that may move either way."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramSeries:
+    """One series of a histogram: per-bucket counts plus sum and count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts including the +Inf bucket (== count)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class _Metric:
+    """Shared machinery: label validation, the series map, the cap."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: Tuple[str, ...], max_series: int) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self.max_series = max_series
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _new_series(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        """The series for these label values (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}")
+        key = tuple(str(labels[n]) for n in self.label_names)
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                raise CardinalityError(
+                    f"metric {self.name!r} exceeded its cap of "
+                    f"{self.max_series} distinct label sets (rejected "
+                    f"{dict(zip(self.label_names, key))})")
+            series = self._series[key] = self._new_series()
+        return series
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """All series in insertion order (stable exposition)."""
+        return list(self._series.items())
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (events, accesses, retries...)."""
+
+    type_name = "counter"
+
+    def _new_series(self) -> _CounterSeries:
+        return _CounterSeries()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less series (shorthand for ``labels()``)."""
+        self.labels().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """The label-less series' value (0 if never incremented)."""
+        series = self._series.get(())
+        return series.value if series is not None else 0.0
+
+
+class Gauge(_Metric):
+    """A point-in-time value (groups installed, slices offline...)."""
+
+    type_name = "gauge"
+
+    def _new_series(self) -> _GaugeSeries:
+        return _GaugeSeries()
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    @property
+    def value(self) -> float:
+        series = self._series.get(())
+        return series.value if series is not None else 0.0
+
+
+class Histogram(_Metric):
+    """A distribution over fixed buckets (per-run wall-clock seconds...)."""
+
+    type_name = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: Tuple[str, ...], max_series: int,
+                 buckets: Sequence[float]) -> None:
+        bucket_tuple = tuple(float(b) for b in buckets)
+        if not bucket_tuple:
+            raise MetricError(f"histogram {name!r} needs at least one bucket")
+        if list(bucket_tuple) != sorted(set(bucket_tuple)):
+            raise MetricError(
+                f"histogram {name!r} buckets must be strictly increasing: "
+                f"{list(buckets)}")
+        super().__init__(name, help_text, label_names, max_series)
+        self.buckets = bucket_tuple
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+
+class MetricsRegistry:
+    """Holds every metric; disabled by default (zero instrumentation cost).
+
+    Args:
+        enabled: start collecting immediately (default off — the simulator's
+            instrumented sites all check :attr:`enabled` first).
+        max_label_sets: per-metric cap on distinct label-value sets.
+    """
+
+    def __init__(self, enabled: bool = False, max_label_sets: int = 64) -> None:
+        self.enabled = enabled
+        self.max_label_sets = max_label_sets
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric and its values (test isolation, fresh runs)."""
+        self._metrics.clear()
+
+    # -- registration -------------------------------------------------------
+
+    def _register(self, cls, name: str, help_text: str,
+                  labels: Sequence[str], **kwargs) -> _Metric:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise MetricError(
+                    f"invalid label name {label!r} on metric {name!r}")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != label_names:
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.type_name} with labels "
+                    f"{list(existing.label_names)}")
+            return existing
+        metric = cls(name, help_text, label_names,
+                     max_series=self.max_label_sets, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help_text, labels,
+                              buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    # -- exposition ---------------------------------------------------------
+
+    def expose_text(self) -> str:
+        """The Prometheus text exposition format, one block per metric."""
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.type_name}")
+            for key, series in metric.series():
+                if isinstance(series, _HistogramSeries):
+                    cumulative = series.cumulative()
+                    les = [repr(b) for b in series.buckets] + ["+Inf"]
+                    for le, count in zip(les, cumulative):
+                        labels = _render_labels(
+                            tuple(metric.label_names) + ("le",), key + (le,))
+                        lines.append(
+                            f"{metric.name}_bucket{labels} {count}")
+                    labels = _render_labels(metric.label_names, key)
+                    lines.append(f"{metric.name}_sum{labels} "
+                                 f"{_format_value(series.sum)}")
+                    lines.append(f"{metric.name}_count{labels} "
+                                 f"{series.count}")
+                else:
+                    labels = _render_labels(metric.label_names, key)
+                    lines.append(f"{metric.name}{labels} "
+                                 f"{_format_value(series.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump_json(self) -> Dict[str, dict]:
+        """The same data as :meth:`expose_text`, JSON-serialisable."""
+        out: Dict[str, dict] = {}
+        for metric in self._metrics.values():
+            entries = []
+            for key, series in metric.series():
+                labels = dict(zip(metric.label_names, key))
+                if isinstance(series, _HistogramSeries):
+                    entries.append({
+                        "labels": labels,
+                        "buckets": {repr(b): c for b, c in
+                                    zip(series.buckets, series.cumulative())},
+                        "sum": series.sum,
+                        "count": series.count,
+                    })
+                else:
+                    entries.append({"labels": labels, "value": series.value})
+            out[metric.name] = {
+                "type": metric.type_name,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "series": entries,
+            }
+        return out
+
+
+#: The process-wide default registry every instrumented module consults.
+#: Disabled until a caller (CLI ``--metrics``, a test, an example) enables
+#: it, so plain simulation runs pay nothing.
+REGISTRY = MetricsRegistry(enabled=False)

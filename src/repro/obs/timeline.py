@@ -1,0 +1,106 @@
+"""Render a reconfiguration timeline from a recorded trace.
+
+Answers the question the trace exists for: *which cores merged or split at
+which epoch, and why*.  The renderer walks a trace's records in order and
+prints one line per event — faults, guard interventions, reconfiguration
+decisions with their ACFV inputs — plus an ASCII topology picture whenever
+the installed grouping changes, and closes with the run's throughput
+sparkline.  Exposed on the CLI as ``repro trace PATH`` and toured in
+``examples/trace_tour.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.obs.trace import load_trace
+from repro.render import render_series, render_topology
+
+__all__ = ["load_trace", "render_timeline"]
+
+
+def _format_groups(groups: Sequence[Sequence[int]]) -> str:
+    return "+".join("[" + ",".join(str(c) for c in g) + "]" for g in groups)
+
+
+def _event_line(record: dict) -> Optional[str]:
+    kind = record.get("kind")
+    epoch = record.get("epoch")
+    if kind == "fault":
+        detail = f"{record.get('fault')} level={record.get('level')}"
+        target = record.get("target")
+        if target is not None and target >= 0:
+            detail += f" target={target}"
+        duration = record.get("duration")
+        if duration is not None and duration > 1:
+            detail += f" duration={duration}"
+        return f"epoch {epoch:>3}  fault    {detail}"
+    if kind == "guard":
+        return (f"epoch {epoch:>3}  guard    {record.get('action')} "
+                f"({record.get('violation')}) -> "
+                f"mode {record.get('mode_after')}")
+    if kind == "reconfig":
+        acfv = record.get("acfv_ones") or {}
+        inputs = " ".join(f"core{c}:|ACFV|={acfv[c]}" for c in sorted(
+            acfv, key=int))
+        line = (f"epoch {epoch:>3}  {record.get('action'):<8} "
+                f"{record.get('level')} {_format_groups(record.get('groups', []))}"
+                f" — {record.get('reason')}")
+        label = record.get("label")
+        line += f" -> {label}" if label else " -> asymmetric"
+        if inputs:
+            line += f"  [{inputs}]"
+        return line
+    return None
+
+
+def render_timeline(records: List[dict], indent: str = "  ") -> str:
+    """The human-readable timeline for one run's trace records."""
+    lines: List[str] = []
+    throughput: List[float] = []
+    cores = 16
+    last_topology = None
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "run-start":
+            cores = len(record.get("cores", [])) or cores
+            faults = record.get("faults")
+            lines.append(
+                f"{record.get('scheme')} on {record.get('workload')} — "
+                f"seed {record.get('seed')}, {record.get('epochs')} epochs "
+                f"(+{record.get('warmup_epochs')} warmup), "
+                f"{record.get('accesses_per_core')} accesses/core/epoch")
+            if faults:
+                lines.append(f"{indent}fault plan: {faults}")
+            continue
+        if kind == "epoch":
+            ipcs = record.get("ipcs") or {}
+            if record.get("measured") is not None:
+                throughput.append(sum(ipcs.values()))
+            topology = record.get("topology")
+            if topology is not None and topology != last_topology:
+                lines.append(f"{indent}epoch {record.get('epoch'):>3}  "
+                             f"topology now {record.get('label')}:")
+                picture = render_topology(
+                    [tuple(g) for g in topology["l2"]],
+                    [tuple(g) for g in topology["l3"]],
+                    cores=cores)
+                lines.extend(f"{indent}  {row}" for row in
+                             picture.splitlines())
+                last_topology = topology
+            continue
+        if kind == "run-end":
+            lines.append(
+                f"run end: {record.get('epochs')} measured epochs, mean "
+                f"throughput {record.get('mean_throughput'):.3f}"
+                + (f", {record.get('reconfigurations')} reconfigurations"
+                   if record.get("reconfigurations") is not None else ""))
+            continue
+        event = _event_line(record)
+        if event is not None:
+            lines.append(indent + event)
+
+    if throughput:
+        lines.append(render_series(throughput, label="throughput "))
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Structured epoch-level trace recording (JSONL + in-memory ring buffer).
+
+A :class:`TraceRecorder` captures one record per observable event of a
+simulation run: the run header, injected faults, guard interventions,
+reconfiguration decisions (with the triggering ACFV/decision inputs), one
+per-epoch statistics record, and a run footer.  Records are emitted only at
+epoch boundaries — never inside the per-access hot loop — so tracing costs
+nothing when off and an epoch-proportional amount when on.
+
+**Canonical encoding.**  Every record is serialised with sorted keys,
+compact separators and ASCII escapes (:func:`canonical_line`), so two runs
+that emit equal records produce byte-identical JSONL files.  Combined with
+the engines' bit-identical guarantee this extends to the engines themselves:
+an event-engine run and a batch-engine run of the same ``RunSpec`` write the
+same trace file, byte for byte (``tests/obs/test_trace_equivalence.py``).
+For that reason records never mention the engine, wall-clock time, process
+ids or file paths.
+
+The schema is documented in DESIGN.md §9; ``schema`` in the ``run-start``
+record carries :data:`SCHEMA_VERSION` so readers can detect drift.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceRecorder",
+    "canonical_line",
+    "load_trace",
+    "CORE_STAT_FIELDS",
+    "SLICE_STAT_FIELDS",
+    "snapshot_hierarchy",
+    "hierarchy_delta",
+]
+
+#: Bumped whenever a record kind gains, loses or renames a field.
+SCHEMA_VERSION = 1
+
+
+def canonical_line(record: Mapping) -> str:
+    """One record as its canonical JSON line (no trailing newline).
+
+    Sorted keys + compact separators + ASCII escapes: emitting the same
+    record twice — from either engine — yields the same bytes.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def load_trace(path) -> List[dict]:
+    """Parse a JSONL trace file back into its records, in order."""
+    records = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class TraceRecorder:
+    """Collects trace records into a ring buffer and, optionally, a file.
+
+    Args:
+        path: JSONL output file (opened immediately, truncating); ``None``
+            keeps records in memory only.
+        ring_size: how many records the in-memory ring retains (oldest
+            dropped first) — the file, when given, always gets everything.
+        epoch_digests: ask the engine to include a full
+            :func:`~repro.resilience.checkpoint.state_digest` in every
+            ``epoch`` record (slow; meant for divergence hunts).
+
+    The :attr:`suspended` flag silences :meth:`emit` entirely; the engine
+    raises it while fast-forward replaying a checkpoint resume, so a resumed
+    run's trace contains exactly the post-resume records.
+    """
+
+    def __init__(self, path=None, ring_size: int = 4096,
+                 epoch_digests: bool = False) -> None:
+        self.path = str(path) if path is not None else None
+        self.ring: deque = deque(maxlen=ring_size)
+        self.epoch_digests = epoch_digests
+        self.suspended = False
+        self._fh = (open(self.path, "w", encoding="ascii")
+                    if self.path is not None else None)
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event.  ``fields`` must be JSON-serialisable."""
+        if self.suspended:
+            return
+        record = dict(fields)
+        record["kind"] = kind
+        self.ring.append(record)
+        if self._fh is not None:
+            self._fh.write(canonical_line(record) + "\n")
+
+    def records(self, kind: Optional[str] = None) -> List[dict]:
+        """The retained records, optionally filtered by kind."""
+        if kind is None:
+            return list(self.ring)
+        return [r for r in self.ring if r.get("kind") == kind]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- hierarchy statistics snapshots ------------------------------------------
+#
+# The per-epoch record carries *deltas* of the cumulative hierarchy stats.
+# Integer counters are order-free (addition commutes), so the deltas are
+# bit-identical across engines even though the engines order the work
+# differently within an epoch.
+
+CORE_STAT_FIELDS = ("accesses", "l1_hits", "l2_local_hits", "l2_remote_hits",
+                    "l3_local_hits", "l3_remote_hits", "memory_accesses",
+                    "coherence_invalidations")
+SLICE_STAT_FIELDS = ("hits", "misses", "insertions", "evictions",
+                     "lazy_invalidations")
+
+
+def snapshot_hierarchy(stats) -> Dict[str, Dict[int, tuple]]:
+    """Freeze a :class:`~repro.caches.stats.HierarchyStats` as plain tuples."""
+    return {
+        "cores": {c: tuple(getattr(s, f) for f in CORE_STAT_FIELDS)
+                  for c, s in stats.cores.items()},
+        "l2": {i: tuple(getattr(s, f) for f in SLICE_STAT_FIELDS)
+               for i, s in stats.l2_slices.items()},
+        "l3": {i: tuple(getattr(s, f) for f in SLICE_STAT_FIELDS)
+               for i, s in stats.l3_slices.items()},
+    }
+
+
+def _delta_group(before: Dict[int, tuple], after: Dict[int, tuple],
+                 fields: Iterable[str]) -> Dict[str, Dict[str, int]]:
+    out: Dict[str, Dict[str, int]] = {}
+    field_list = tuple(fields)
+    for key, now in after.items():
+        then = before.get(key, (0,) * len(field_list))
+        changed = {f: n - t for f, n, t in zip(field_list, now, then) if n != t}
+        if changed:
+            out[str(key)] = changed
+    return out
+
+
+def hierarchy_delta(before: Dict[str, Dict[int, tuple]],
+                    after: Dict[str, Dict[int, tuple]]) -> Dict[str, dict]:
+    """Non-zero per-core / per-slice counter deltas between two snapshots."""
+    return {
+        "cores": _delta_group(before["cores"], after["cores"],
+                              CORE_STAT_FIELDS),
+        "l2": _delta_group(before["l2"], after["l2"], SLICE_STAT_FIELDS),
+        "l3": _delta_group(before["l3"], after["l3"], SLICE_STAT_FIELDS),
+    }

@@ -66,6 +66,7 @@ from repro.caches.hierarchy import CacheHierarchy, HierarchyObserver, L2, L3
 from repro.core.acfv import AcfvBank
 from repro.cpu.cmp import CmpSystem
 from repro.cpu.core_model import CoreTimingModel
+from repro.obs import metrics as obs_metrics
 from repro.sim.engine import run_epoch
 
 #: Tags returned by :func:`run_epoch_batch` naming the path taken.
@@ -73,6 +74,17 @@ PRIVATE_PERCORE = "batch-private-percore"
 PRIVATE_KERNEL = "batch-private"
 GENERAL_KERNEL = "batch-general"
 EVENT_FALLBACK = "event"
+
+
+def _record_tier(tag: str) -> str:
+    """Count the dispatch tier taken (once per epoch; off-path cost is one
+    flag check, within the <2% tracing-off budget)."""
+    reg = obs_metrics.REGISTRY
+    if reg.enabled:
+        reg.counter("repro_batch_epochs_total",
+                    "Epochs resolved by the batch engine, by dispatch tier",
+                    labels=("tier",)).labels(tier=tag).inc()
+    return tag
 
 
 def batch_unsupported(system) -> Optional[str]:
@@ -103,10 +115,10 @@ def run_epoch_batch(system, traces: Dict[int, object],
     """
     if batch_unsupported(system) is not None:
         run_epoch(system, traces, timers, n_accesses)
-        return EVENT_FALLBACK
+        return _record_tier(EVENT_FALLBACK)
     active = list(traces)
     if not active or n_accesses <= 0:
-        return GENERAL_KERNEL
+        return _record_tier(GENERAL_KERNEL)
     hier = system.hierarchy
     gap_sums = {core: int(traces[core].gaps[:n_accesses].sum())
                 for core in active}
@@ -119,15 +131,15 @@ def run_epoch_batch(system, traces: Dict[int, object],
             _run_private_percore(hier, timers, traces, active, n_accesses,
                                  gap_sums)
             _mark_percore_clean(hier)
-            return PRIVATE_PERCORE
+            return _record_tier(PRIVATE_PERCORE)
         lines, writes, cores = _interleave(traces, active, n_accesses)
         _run_private_kernel(hier, timers, active, n_accesses,
                             lines, writes, cores, gap_sums)
-        return PRIVATE_KERNEL
+        return _record_tier(PRIVATE_KERNEL)
     lines, writes, cores = _interleave(traces, active, n_accesses)
     _run_general(system, timers, traces, active, n_accesses,
                  lines, writes, cores)
-    return GENERAL_KERNEL
+    return _record_tier(GENERAL_KERNEL)
 
 
 # -- epoch materialisation ---------------------------------------------------

@@ -24,11 +24,14 @@ from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.cpu.core_model import CoreTimingModel
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import SCHEMA_VERSION, hierarchy_delta, snapshot_hierarchy
 from repro.resilience.checkpoint import (
     epoch_from_json,
     load_checkpoint,
     run_fingerprint,
     save_checkpoint,
+    state_digest,
     verify_replay,
 )
 from repro.resilience.errors import CheckpointError
@@ -131,6 +134,7 @@ def simulate(
     checkpoint_every: int = 5,
     resume: bool = False,
     engine: str = "event",
+    tracer=None,
 ) -> RunResult:
     """Run ``workload`` on ``system`` for the configured number of epochs.
 
@@ -156,6 +160,12 @@ def simulate(
             set-partitioned array engine (:mod:`repro.sim.batch`), which is
             bit-identical and falls back to the event engine for systems it
             cannot batch.  Checkpoints are engine-agnostic.
+        tracer: optional :class:`~repro.obs.trace.TraceRecorder`.  All trace
+            emission happens at epoch boundaries in this shared loop (plus
+            the controller's in-boundary reconfig hook), so both engines
+            emit byte-identical traces for the same run.  During a resume's
+            fast-forward replay the tracer is suspended, leaving exactly the
+            post-resume records in a resumed trace.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}: choose one of {ENGINES}")
@@ -188,40 +198,126 @@ def simulate(
         replay_until = int(payload["next_epoch"])
         result.epochs = [epoch_from_json(e) for e in payload["epochs"]]
 
+    # Observability wiring.  Everything below is epoch-granular: the access
+    # hot loop (run_epoch / the batch kernels) is never touched, which is
+    # what keeps the tracing-off overhead at zero.
+    controller = getattr(system, "controller", None)
+    hierarchy = getattr(system, "hierarchy", None)
+    hier_stats = getattr(hierarchy, "stats", None)
+    guard_log = (getattr(getattr(controller, "guard", None), "events", None)
+                 if controller is not None else None)
+    reg = obs_metrics.REGISTRY
+    if reg.enabled:
+        reg.counter("repro_sim_runs_total", "Simulation runs started",
+                    labels=("engine",)).labels(engine=engine).inc()
+    if tracer is not None:
+        tracer.emit("run-start", schema=SCHEMA_VERSION,
+                    workload=workload.name, scheme=result.scheme_name,
+                    seed=seed, epochs=n_epochs, accesses_per_core=n_accesses,
+                    warmup_epochs=warmup_epochs, cores=active,
+                    faults=repr(fault_plan) if fault_plan else None)
+        tracer.suspended = replay_until > 0
+        if controller is not None:
+            controller.tracer = tracer
+
     previous_misses = system.miss_counts()
     total = warmup_epochs + n_epochs
-    for epoch in range(total):
-        if injector is not None:
-            injector.begin_epoch(epoch, system)
-        timers = {
-            core: CoreTimingModel(config.issue_width,
-                                  memory_latency=config.latency.memory)
-            for core in active
+    try:
+        for epoch in range(total):
+            if injector is not None:
+                faults_before = len(injector.log)
+                injector.begin_epoch(epoch, system)
+                if tracer is not None:
+                    for fault in injector.log[faults_before:]:
+                        tracer.emit("fault", epoch=epoch, fault=fault.kind,
+                                    level=fault.level, target=fault.target,
+                                    duration=fault.duration, bits=fault.bits,
+                                    penalty=fault.penalty)
+            timers = {
+                core: CoreTimingModel(config.issue_width,
+                                      memory_latency=config.latency.memory)
+                for core in active
+            }
+            traces = {core: threads[core].generate(n_accesses)
+                      for core in active}
+            guard_before = len(guard_log) if guard_log is not None else 0
+            stats_before = (snapshot_hierarchy(hier_stats)
+                            if tracer is not None and not tracer.suspended
+                            and hier_stats is not None else None)
+            epoch_runner(system, traces, timers, n_accesses)
+
+            label = system.end_epoch()
+            current_misses = system.miss_counts()
+            if tracer is not None:
+                if guard_log is not None:
+                    for guard_event in guard_log[guard_before:]:
+                        tracer.emit("guard", epoch=epoch,
+                                    action=guard_event.action,
+                                    violation=str(guard_event.violation),
+                                    mode_after=guard_event.mode_after)
+                record = {
+                    "epoch": epoch,
+                    "measured": (epoch - warmup_epochs
+                                 if epoch >= warmup_epochs else None),
+                    "label": label,
+                    "ipcs": {str(core): timers[core].ipc for core in active},
+                    "misses": {str(core): current_misses.get(core, 0)
+                               - previous_misses.get(core, 0)
+                               for core in active},
+                }
+                if stats_before is not None:
+                    record["stats"] = hierarchy_delta(
+                        stats_before, snapshot_hierarchy(hier_stats))
+                    record["bus_penalty"] = hierarchy.bus_penalty
+                    record["topology"] = {
+                        lvl: [list(g) for g in groups]
+                        for lvl, groups in hierarchy.topology().items()}
+                if tracer.epoch_digests:
+                    record["digest"] = state_digest(system)
+                tracer.emit("epoch", **record)
+            if reg.enabled:
+                reg.counter("repro_sim_epochs_total",
+                            "Epochs simulated (warmup included)").inc()
+                reg.counter("repro_sim_accesses_total",
+                            "Memory accesses driven through the engines"
+                            ).inc(n_accesses * len(active))
+            if epoch >= replay_until and epoch >= warmup_epochs:
+                result.epochs.append(EpochResult(
+                    epoch=epoch - warmup_epochs,
+                    ipcs={core: timers[core].ipc for core in active},
+                    misses={
+                        core: current_misses.get(core, 0)
+                        - previous_misses.get(core, 0)
+                        for core in active
+                    },
+                    topology_label=label,
+                ))
+            previous_misses = current_misses
+
+            if payload is not None and epoch + 1 == replay_until:
+                # Replay complete: prove the rebuilt state matches the
+                # checkpoint before recording a single new epoch.
+                verify_replay(payload, threads, system, checkpoint_path)
+                payload = None
+                if tracer is not None:
+                    tracer.suspended = False
+            if (checkpoint_path is not None and epoch + 1 > replay_until
+                    and ((epoch + 1) % checkpoint_every == 0
+                         or epoch + 1 == total)):
+                save_checkpoint(checkpoint_path, fingerprint, epoch + 1,
+                                result.epochs, threads, system)
+    finally:
+        if tracer is not None and controller is not None:
+            controller.tracer = None
+    if tracer is not None:
+        tracer.suspended = False
+        footer = {
+            "epochs": len(result.epochs),
+            "mean_throughput": result.mean_throughput,
+            "digest": state_digest(system),
         }
-        traces = {core: threads[core].generate(n_accesses) for core in active}
-        epoch_runner(system, traces, timers, n_accesses)
-
-        label = system.end_epoch()
-        current_misses = system.miss_counts()
-        if epoch >= replay_until and epoch >= warmup_epochs:
-            result.epochs.append(EpochResult(
-                epoch=epoch - warmup_epochs,
-                ipcs={core: timers[core].ipc for core in active},
-                misses={
-                    core: current_misses.get(core, 0) - previous_misses.get(core, 0)
-                    for core in active
-                },
-                topology_label=label,
-            ))
-        previous_misses = current_misses
-
-        if payload is not None and epoch + 1 == replay_until:
-            # Replay complete: prove the rebuilt state matches the
-            # checkpoint before recording a single new epoch.
-            verify_replay(payload, threads, system, checkpoint_path)
-            payload = None
-        if (checkpoint_path is not None and epoch + 1 > replay_until
-                and ((epoch + 1) % checkpoint_every == 0 or epoch + 1 == total)):
-            save_checkpoint(checkpoint_path, fingerprint, epoch + 1,
-                            result.epochs, threads, system)
+        if controller is not None:
+            footer["reconfigurations"] = controller.reconfigurations
+        tracer.emit("run-end", **footer)
+        tracer.flush()
     return result

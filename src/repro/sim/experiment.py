@@ -20,6 +20,7 @@ from repro.baselines.pipp import PippSystem
 from repro.baselines.ucp import UcpSystem
 from repro.config import MachineConfig, MorphConfig
 from repro.cpu.cmp import CmpSystem
+from repro.obs.trace import TraceRecorder
 from repro.resilience.faults import FaultPlan
 from repro.sim.engine import RunResult, simulate
 from repro.sim.workload import Workload
@@ -75,28 +76,41 @@ def run_scheme(
     checkpoint_every: int = 5,
     resume: bool = False,
     engine: str = "event",
+    trace_path=None,
+    tracer=None,
 ) -> RunResult:
     """Build the scheme's system and simulate the workload on it.
 
     ``fault_plan``, ``checkpoint_path``, ``checkpoint_every``, ``resume``
     and ``engine`` pass straight through to
-    :func:`repro.sim.engine.simulate`.
+    :func:`repro.sim.engine.simulate`.  ``trace_path`` records the run as a
+    JSONL trace (see :mod:`repro.obs.trace`); pass an existing ``tracer``
+    instead to keep it open (ring-buffer inspection) — the two are mutually
+    exclusive and the path-owned recorder is closed before returning.
     """
+    if trace_path is not None and tracer is not None:
+        raise ValueError("pass either trace_path or tracer, not both")
     system = build_system(scheme, config, workload, seed=seed, morph=morph)
-    result = simulate(
-        system,
-        workload,
-        config,
-        seed=seed,
-        epochs=epochs,
-        accesses_per_core=accesses_per_core,
-        warmup_epochs=warmup_epochs,
-        fault_plan=fault_plan,
-        checkpoint_path=checkpoint_path,
-        checkpoint_every=checkpoint_every,
-        resume=resume,
-        engine=engine,
-    )
+    owned = TraceRecorder(trace_path) if trace_path is not None else None
+    try:
+        result = simulate(
+            system,
+            workload,
+            config,
+            seed=seed,
+            epochs=epochs,
+            accesses_per_core=accesses_per_core,
+            warmup_epochs=warmup_epochs,
+            fault_plan=fault_plan,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            engine=engine,
+            tracer=owned if owned is not None else tracer,
+        )
+    finally:
+        if owned is not None:
+            owned.close()
     result.scheme_name = scheme
     return result
 

@@ -66,6 +66,11 @@ class RunSpec:
     morph: Optional[MorphConfig] = None
     engine: str = "event"
     fault_plan: Optional[FaultPlan] = None
+    trace_path: Optional[str] = None
+    """JSONL trace output for this run (observability side channel; it does
+    not affect results and is deliberately excluded from the journal's
+    :func:`~repro.sim.supervisor.spec_key`, so tracing a sweep does not
+    invalidate its resumable journal)."""
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -119,6 +124,7 @@ def _run_spec(spec: RunSpec) -> RunResult:
         morph=spec.morph,
         engine=spec.engine,
         fault_plan=spec.fault_plan,
+        trace_path=spec.trace_path,
     )
 
 

@@ -76,6 +76,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.resilience.checkpoint import epoch_from_json, epoch_to_json
 from repro.resilience.errors import (
     CheckpointError,
@@ -517,14 +518,23 @@ def run_supervised(
         outcome.elapsed += elapsed
         outcome.error = f"{type(exc).__name__}: {exc}"
         outcome.exception = exc
+        reg = obs_metrics.REGISTRY
         if outcome.attempts > policy.retries:
             outcome.status = "quarantined"
+            if reg.enabled:
+                reg.counter("repro_sweep_runs_total",
+                            "Sweep runs finished, by final status",
+                            labels=("status",)).labels(
+                    status="quarantined").inc()
             if jrnl is not None:
                 jrnl.record_quarantine(index, keys[index], outcome.attempts,
                                        outcome.error)
             if strict:
                 raise exc
         else:
+            if reg.enabled:
+                reg.counter("repro_sweep_retries_total",
+                            "Failed sweep attempts re-queued for retry").inc()
             release[index] = (time.monotonic()
                               + policy.backoff_delay(specs[index].seed,
                                                      outcome.attempts))
@@ -538,6 +548,14 @@ def run_supervised(
         outcome.error = None
         outcome.exception = None
         results[index] = result
+        reg = obs_metrics.REGISTRY
+        if reg.enabled:
+            reg.counter("repro_sweep_runs_total",
+                        "Sweep runs finished, by final status",
+                        labels=("status",)).labels(status="ok").inc()
+            reg.histogram("repro_sweep_run_seconds",
+                          "Per-attempt wall clock of successful sweep runs"
+                          ).observe(elapsed)
         if jrnl is not None:
             jrnl.record_run(index, keys[index], outcome.attempts,
                             outcome.elapsed, result)
@@ -621,6 +639,11 @@ def run_supervised(
                     if pool is not None:
                         _kill_pool(pool)
                         pool = None
+                    if obs_metrics.REGISTRY.enabled:
+                        obs_metrics.REGISTRY.counter(
+                            "repro_sweep_timeouts_total",
+                            "Runs killed for exceeding the wall-clock "
+                            "timeout").inc(len(overdue))
                     for future, (index, started, deadline) in overdue:
                         fail(index, WorkerCrashError(
                             f"run {index} ({specs[index].scheme} on "

@@ -1,6 +1,8 @@
 """Tests for the ideal offline scheme (Figure 15)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.baselines.offline_ideal import ideal_offline
 from repro.sim.engine import EpochResult, RunResult
@@ -48,3 +50,40 @@ class TestIdealOffline:
 
     def test_scheme_name(self):
         assert ideal_offline([make_run("a", [1.0])]).scheme_name == "ideal-offline"
+
+    def test_single_run_reproduces_its_series(self):
+        only = make_run("a", [1.5, 0.5, 2.0])
+        ideal = ideal_offline([only])
+        assert ideal.throughput_series() == only.throughput_series()
+        assert [e.topology_label for e in ideal.epochs] == ["a", "a", "a"]
+
+    def test_epoch_indices_are_sequential(self):
+        ideal = ideal_offline([make_run("a", [1.0, 2.0, 3.0])])
+        assert [e.epoch for e in ideal.epochs] == [0, 1, 2]
+
+    def test_copies_do_not_alias_source_epochs(self):
+        # The oracle copies the winning epoch's dicts; mutating the ideal
+        # result must not corrupt the static run it was built from.
+        source = make_run("a", [1.0])
+        ideal = ideal_offline([source])
+        ideal.epochs[0].ipcs[0] = 99.0
+        ideal.epochs[0].misses[0] = 99
+        assert source.epochs[0].ipcs[0] == 1.0
+        assert source.epochs[0].misses[0] == 0
+
+    def test_ties_keep_first_run(self):
+        # max() is stable on ties: the earlier run in the input wins, so
+        # the oracle's labelling is deterministic in the input order.
+        runs = [make_run("a", [1.0]), make_run("b", [1.0])]
+        assert ideal_offline(runs).epochs[0].topology_label == "a"
+
+    @given(series=st.lists(
+        st.lists(st.floats(min_value=0.01, max_value=100,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=3, max_size=3),
+        min_size=1, max_size=6))
+    def test_pointwise_maximum_property(self, series):
+        runs = [make_run(f"s{i}", values) for i, values in enumerate(series)]
+        ideal = ideal_offline(runs)
+        for index, value in enumerate(ideal.throughput_series()):
+            assert value == max(values[index] for values in series)

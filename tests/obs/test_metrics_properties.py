@@ -1,0 +1,89 @@
+"""Property tests for the metrics registry (Hypothesis).
+
+Three invariants the exposition consumers rely on, driven far outside the
+hand-picked unit-test values:
+
+- a counter is exactly the sum of its (non-negative) increments, and any
+  negative increment is rejected without corrupting the value;
+- a histogram's cumulative bucket counts are non-decreasing, its ``+Inf``
+  bucket equals ``count``, each ``le`` bucket counts exactly the
+  observations ``<= le``, and ``sum`` matches the observations;
+- the label-cardinality cap admits exactly ``max_label_sets`` distinct
+  label sets, rejects the rest with the typed error, and never disturbs the
+  admitted series.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.obs.metrics import CardinalityError, MetricError, MetricsRegistry
+
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+non_negative = st.floats(min_value=0, max_value=1e9,
+                         allow_nan=False, allow_infinity=False)
+
+
+@given(amounts=st.lists(non_negative, max_size=50))
+def test_counter_is_sum_of_increments(amounts):
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("repro_prop_total")
+    for amount in amounts:
+        c.inc(amount)
+    # identical accumulation order => exact float equality, not approx
+    expected = 0.0
+    for amount in amounts:
+        expected += amount
+    assert c.value == expected
+
+
+@given(amounts=st.lists(non_negative, max_size=20),
+       bad=st.floats(max_value=-1e-9, min_value=-1e9, allow_nan=False))
+def test_counter_rejects_negatives_without_corruption(amounts, bad):
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("repro_prop_total")
+    for amount in amounts:
+        c.inc(amount)
+    before = c.value
+    with pytest.raises(MetricError):
+        c.inc(bad)
+    assert c.value == before
+
+
+@settings(max_examples=60)
+@given(observations=st.lists(finite, max_size=60),
+       buckets=st.lists(finite, min_size=1, max_size=8, unique=True))
+def test_histogram_invariants(observations, buckets):
+    buckets = sorted(buckets)
+    reg = MetricsRegistry(enabled=True)
+    h = reg.histogram("repro_prop_seconds", buckets=buckets)
+    for value in observations:
+        h.observe(value)
+    series = h.labels()
+    cumulative = series.cumulative()
+
+    assert series.count == len(observations)
+    assert cumulative[-1] == series.count  # +Inf bucket is everything
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    for le, cum in zip(buckets, cumulative):
+        assert cum == sum(1 for v in observations if v <= le)
+    expected_sum = 0.0
+    for value in observations:
+        expected_sum += value
+    assert series.sum == expected_sum
+
+
+@given(cap=st.integers(min_value=1, max_value=10),
+       extra=st.integers(min_value=1, max_value=5))
+def test_cardinality_cap_exact(cap, extra):
+    reg = MetricsRegistry(enabled=True, max_label_sets=cap)
+    c = reg.counter("repro_prop_total", labels=("k",))
+    for i in range(cap):
+        c.labels(k=f"v{i}").inc()
+    for i in range(cap, cap + extra):
+        with pytest.raises(CardinalityError):
+            c.labels(k=f"v{i}")
+    # every admitted series still intact and addressable
+    for i in range(cap):
+        assert c.labels(k=f"v{i}").value == 1

@@ -1,0 +1,65 @@
+"""The timeline renderer turns a recorded trace into the story of the run."""
+
+from repro.config import TINY
+from repro.obs.timeline import render_timeline
+from repro.obs.trace import TraceRecorder
+from repro.resilience import parse_fault_spec
+from repro.sim.engine import simulate
+from repro.sim.experiment import build_system
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+CONFIG = TINY.with_(epochs=6)
+SEED = 3
+
+
+def _traced_records(scheme="morphcache", **kwargs):
+    workload = Workload.from_mix(MIXES[0])
+    system = build_system(scheme, CONFIG, workload, seed=SEED)
+    tracer = TraceRecorder()
+    simulate(system, workload, CONFIG, seed=SEED, tracer=tracer, **kwargs)
+    return tracer.records()
+
+
+def test_timeline_of_a_real_run():
+    plan = parse_fault_spec("disable-slice:every=3:level=l3,seed=11")
+    records = _traced_records(fault_plan=plan)
+    text = render_timeline(records)
+
+    lines = text.splitlines()
+    assert lines[0].startswith("morphcache on MIX 01 — seed 3, 6 epochs")
+    assert any("fault plan:" in line for line in lines)
+    assert any("fault    disable-slice" in line for line in lines)
+    # the tiny preset reconfigures under this seed: merges/splits show with
+    # their ACFV inputs, and each change prints a topology picture
+    assert any("|ACFV|=" in line for line in lines)
+    assert any("topology now" in line for line in lines)
+    assert any(line.lstrip().startswith("cores") for line in lines)
+    assert any(line.startswith("run end:") for line in lines)
+    assert any(line.startswith("throughput") for line in lines)  # sparkline
+
+
+def test_timeline_without_hierarchy_scheme():
+    # Baselines emit no topology/stats fields; the renderer must not crash
+    # and still reports the header and the run summary.
+    text = render_timeline(_traced_records("pipp"))
+    assert text.splitlines()[0].startswith("pipp on MIX 01")
+    assert "run end:" in text
+    assert "topology now" not in text
+
+
+def test_timeline_guard_line():
+    # Guard interventions render from their record fields alone.
+    records = [
+        {"kind": "run-start", "scheme": "morphcache", "workload": "W",
+         "seed": 1, "epochs": 2, "warmup_epochs": 1,
+         "accesses_per_core": 10, "cores": [0, 1], "faults": None},
+        {"kind": "guard", "epoch": 1, "action": "rollback",
+         "violation": "overlapping groups", "mode_after": "frozen"},
+    ]
+    text = render_timeline(records)
+    assert "guard    rollback (overlapping groups) -> mode frozen" in text
+
+
+def test_timeline_empty_trace():
+    assert render_timeline([]) == ""

@@ -1,0 +1,131 @@
+"""Unit + property tests for the trace recorder (repro.obs.trace).
+
+The recorder's load-bearing promise is canonical encoding: the same record
+always serialises to the same bytes, regardless of dict insertion order —
+that is what lets two engines produce byte-identical trace files.  The
+Hypothesis test drives JSONL round-tripping with arbitrary nested records.
+"""
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.trace import (
+    SCHEMA_VERSION,
+    TraceRecorder,
+    canonical_line,
+    hierarchy_delta,
+    load_trace,
+)
+
+
+# -- canonical encoding ------------------------------------------------------
+
+def test_canonical_line_is_insertion_order_independent():
+    a = {"epoch": 3, "kind": "epoch", "label": "(1:1:16)"}
+    b = {"label": "(1:1:16)", "kind": "epoch", "epoch": 3}
+    assert canonical_line(a) == canonical_line(b)
+    assert canonical_line(a) == '{"epoch":3,"kind":"epoch","label":"(1:1:16)"}'
+
+
+def test_canonical_line_is_ascii_only():
+    line = canonical_line({"reason": "merge — capacity"})
+    assert line == line.encode("ascii").decode("ascii")
+
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**53, max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=20))
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=12)
+
+
+@given(records=st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=10), json_values,
+                    max_size=5),
+    max_size=8))
+def test_jsonl_round_trip(tmp_path_factory, records):
+    # Arbitrary records written through the recorder parse back equal, in
+    # order, with their kind field attached — and re-encoding each parsed
+    # record is byte-stable (a second pass changes nothing).
+    path = tmp_path_factory.mktemp("trace") / "t.jsonl"
+    with TraceRecorder(path) as tracer:
+        for record in records:
+            fields = {k: v for k, v in record.items() if k != "kind"}
+            tracer.emit("prop", **fields)
+    loaded = load_trace(path)
+    assert len(loaded) == len(records)
+    for got, sent in zip(loaded, records):
+        expected = {k: v for k, v in sent.items() if k != "kind"}
+        expected["kind"] = "prop"
+        assert got == expected
+        assert canonical_line(json.loads(canonical_line(got))) \
+            == canonical_line(got)
+
+
+# -- recorder mechanics ------------------------------------------------------
+
+def test_ring_buffer_keeps_newest(tmp_path):
+    tracer = TraceRecorder(ring_size=4)
+    for i in range(10):
+        tracer.emit("tick", i=i)
+    assert [r["i"] for r in tracer.records()] == [6, 7, 8, 9]
+
+
+def test_records_filter_by_kind():
+    tracer = TraceRecorder()
+    tracer.emit("a", x=1)
+    tracer.emit("b", x=2)
+    tracer.emit("a", x=3)
+    assert [r["x"] for r in tracer.records("a")] == [1, 3]
+    assert [r["x"] for r in tracer.records()] == [1, 2, 3]
+
+
+def test_suspended_silences_emit(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with TraceRecorder(path) as tracer:
+        tracer.emit("kept", i=0)
+        tracer.suspended = True
+        tracer.emit("dropped", i=1)
+        tracer.suspended = False
+        tracer.emit("kept", i=2)
+    assert [r["i"] for r in load_trace(path)] == [0, 2]
+
+
+def test_memory_only_recorder_has_no_file():
+    tracer = TraceRecorder()
+    tracer.emit("tick")
+    tracer.flush()  # no-ops without a file
+    tracer.close()
+    assert tracer.path is None
+    assert len(tracer.records()) == 1
+
+
+def test_file_truncated_on_open(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("stale\n")
+    with TraceRecorder(path) as tracer:
+        tracer.emit("fresh")
+    assert [r["kind"] for r in load_trace(path)] == ["fresh"]
+
+
+def test_schema_version_is_an_int():
+    assert isinstance(SCHEMA_VERSION, int) and SCHEMA_VERSION >= 1
+
+
+# -- hierarchy deltas --------------------------------------------------------
+
+def test_hierarchy_delta_reports_only_changes():
+    before = {"cores": {0: (10, 5, 0, 0, 0, 0, 2, 0)},
+              "l2": {0: (3, 1, 1, 0, 0)}, "l3": {}}
+    after = {"cores": {0: (15, 7, 0, 0, 0, 0, 2, 0)},
+             "l2": {0: (3, 1, 1, 0, 0)}, "l3": {}}
+    delta = hierarchy_delta(before, after)
+    assert delta["cores"] == {"0": {"accesses": 5, "l1_hits": 2}}
+    assert delta["l2"] == {}  # unchanged slice omitted entirely
+    assert delta["l3"] == {}

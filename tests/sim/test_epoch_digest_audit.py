@@ -1,0 +1,93 @@
+"""Seed audit at ``run_epoch`` granularity: pin every epoch's state digest.
+
+``test_golden_determinism`` pins the *final* digest of a fixed-seed run —
+enough to detect a determinism regression, useless for locating one: by the
+end of the run the divergence has been laundered through every later epoch.
+This suite pins the **per-epoch digest sequence** (the trace recorder's
+``epoch_digests`` channel, hashing every cache entry, stamp, LRU order,
+stat and ACFV after each epoch) for both engines, asserting epoch by epoch,
+so a mid-run divergence fails on the *first bad epoch* with its index in
+the assertion message — and an engine-specific regression is localised to
+the engine whose parametrisation fails.
+
+``golden_epoch_digests.json`` was captured from this tree at the fixture's
+introduction; both engines produced identical sequences (the bit-identical
+guarantee), so each scheme stores one sequence per engine and the suite
+also cross-checks that they stay equal.  If this fails after an
+*intentional* behaviour change, recapture with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json, pathlib
+    from repro.config import TINY
+    from repro.obs.trace import TraceRecorder
+    from repro.sim.engine import simulate
+    from repro.sim.experiment import build_system
+    from repro.sim.workload import Workload
+    from repro.workloads import MIXES
+    golden = {}
+    for scheme in ("morphcache", "(16:1:1)"):
+        golden[scheme] = {}
+        for engine in ("event", "batch"):
+            workload = Workload.from_mix(MIXES[0])
+            system = build_system(scheme, TINY.with_(epochs=3), workload, seed=7)
+            tracer = TraceRecorder(epoch_digests=True)
+            simulate(system, workload, TINY.with_(epochs=3), seed=7,
+                     engine=engine, tracer=tracer)
+            golden[scheme][engine] = [
+                {"epoch": r["epoch"], "digest": r["digest"]}
+                for r in tracer.records("epoch")]
+    pathlib.Path("tests/sim/golden_epoch_digests.json").write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    PY
+
+Never loosen the comparison.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import TINY
+from repro.obs.trace import TraceRecorder
+from repro.sim.engine import simulate
+from repro.sim.experiment import build_system
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_epoch_digests.json").read_text())
+
+SEED = 7
+CONFIG = TINY.with_(epochs=3)
+
+
+def _digest_sequence(scheme, engine):
+    workload = Workload.from_mix(MIXES[0])
+    system = build_system(scheme, CONFIG, workload, seed=SEED)
+    tracer = TraceRecorder(epoch_digests=True)
+    simulate(system, workload, CONFIG, seed=SEED, engine=engine,
+             tracer=tracer)
+    return [(r["epoch"], r["digest"]) for r in tracer.records("epoch")]
+
+
+@pytest.mark.parametrize("engine", ["event", "batch"])
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_per_epoch_digests_match_golden(scheme, engine):
+    got = _digest_sequence(scheme, engine)
+    want = [(e["epoch"], e["digest"]) for e in GOLDEN[scheme][engine]]
+    assert len(got) == len(want)
+    # epoch-by-epoch, never whole-list: a divergence fails on the first bad
+    # epoch, naming it, instead of an opaque list diff at the end.
+    for (got_epoch, got_digest), (want_epoch, want_digest) in zip(got, want):
+        assert got_epoch == want_epoch
+        assert got_digest == want_digest, (
+            f"{scheme}/{engine}: state diverged at epoch {got_epoch} "
+            f"(first bad epoch)")
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_golden_sequences_agree_across_engines(scheme):
+    # The fixture itself must respect the bit-identical guarantee; a
+    # recapture that bakes in an engine divergence fails here, not silently.
+    assert GOLDEN[scheme]["event"] == GOLDEN[scheme]["batch"]

@@ -65,6 +65,66 @@ class TestCommands:
         assert main(args + ["--resume"]) == 0
         assert capsys.readouterr().out == first
 
+    def test_run_with_trace_then_render(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "2", "--trace", trace])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+
+        assert main(["trace", trace]) == 0
+        timeline = capsys.readouterr().out
+        assert timeline.startswith("morphcache on MIX 01")
+        assert "run end:" in timeline
+
+    def test_run_trace_is_engine_independent(self, tmp_path, capsys):
+        # The CLI surface inherits the engines' byte-identical guarantee.
+        paths = {}
+        for engine in ("event", "batch"):
+            paths[engine] = tmp_path / f"{engine}.jsonl"
+            assert main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                         "--epochs", "2", "--engine", engine,
+                         "--trace", str(paths[engine])]) == 0
+        capsys.readouterr()
+        assert paths["event"].read_bytes() == paths["batch"].read_bytes()
+
+    def test_run_with_metrics_text_and_json(self, tmp_path, capsys):
+        text_path = tmp_path / "metrics.prom"
+        code = main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--metrics", str(text_path)])
+        assert code == 0
+        assert "metrics written" in capsys.readouterr().out
+        text = text_path.read_text()
+        assert "# TYPE repro_sim_runs_total counter" in text
+        assert 'repro_sim_runs_total{engine="event"} 1' in text
+
+        json_path = tmp_path / "metrics.json"
+        assert main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--metrics", str(json_path)]) == 0
+        capsys.readouterr()
+        import json as json_module
+        dump = json_module.loads(json_path.read_text())
+        assert dump["repro_sim_runs_total"]["type"] == "counter"
+
+    def test_metrics_registry_disabled_after_run(self, tmp_path, capsys):
+        from repro.obs import REGISTRY
+        assert main(["run", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1",
+                     "--metrics", str(tmp_path / "m.prom")]) == 0
+        capsys.readouterr()
+        assert REGISTRY.enabled is False
+
+    def test_compare_trace_dir(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        code = main(["compare", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--trace", str(trace_dir)])
+        assert code == 0
+        assert "traces written" in capsys.readouterr().out
+        names = sorted(p.name for p in trace_dir.iterdir())
+        assert "morphcache.jsonl" in names
+        assert "16-1-1.jsonl" in names  # "(16:1:1)" sanitised
+        assert len(names) == 6
+
     def test_compare_supervised_journal_and_resume(self, tmp_path, capsys):
         journal = str(tmp_path / "sweep.jsonl")
         args = ["compare", "--workload", "MIX 01", "--preset", "tiny",
@@ -127,6 +187,18 @@ class TestExitCodes:
                      "--epochs", "1", "--resume-sweep"])
         assert code == 3
         assert "--sweep-journal" in capsys.readouterr().err
+
+    def test_trace_of_missing_file_exits_3(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "absent.jsonl")])
+        assert code == 3
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_of_malformed_file_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("{not json\n")
+        code = main(["trace", str(path)])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
 
     def test_resume_sweep_from_missing_journal_exits_6(self, tmp_path,
                                                        capsys):

@@ -1,6 +1,8 @@
 """Tests for throughput, weighted/fair speedup and correlation."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.metrics import fair_speedup, pearson, throughput, weighted_speedup
 
@@ -69,3 +71,34 @@ class TestPearson:
         xs = [1, 2, 3, 4, 5, 6, 7, 8]
         ys = [5, 1, 8, 2, 7, 3, 6, 4]
         assert abs(pearson(xs, ys)) < 0.5
+
+    _series = st.lists(
+        st.floats(min_value=-1e4, max_value=1e4,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=25)
+
+    @given(data=st.data())
+    def test_bounded_and_symmetric(self, data):
+        xs = data.draw(self._series)
+        ys = data.draw(st.lists(
+            st.floats(min_value=-1e4, max_value=1e4,
+                      allow_nan=False, allow_infinity=False),
+            min_size=len(xs), max_size=len(xs)))
+        r = pearson(xs, ys)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert pearson(ys, xs) == pytest.approx(r, abs=1e-9)
+
+    @given(xs=_series,
+           scale=st.floats(min_value=0.01, max_value=100),
+           shift=st.floats(min_value=-100, max_value=100))
+    def test_invariant_under_positive_affine_transform(self, xs, scale,
+                                                       shift):
+        if max(xs) - min(xs) < 1e-3:
+            # (near-)constant series: correlation is undefined; the
+            # implementation pins exactly-constant input to 0.0 and tiny
+            # spreads are numerically meaningless either way.
+            assert pearson(xs, xs) in (0.0, pytest.approx(1.0))
+            return
+        ys = [scale * x + shift for x in xs]
+        assert pearson(xs, ys) == pytest.approx(1.0)
+        assert pearson(xs, [-y for y in ys]) == pytest.approx(-1.0)

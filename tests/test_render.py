@@ -1,0 +1,101 @@
+"""Tests for the text renderers (repro.render).
+
+``render_topology`` draws the topology pictures used by the CLI, the
+timeline renderer and several examples; ``render_series`` draws the
+throughput sparklines.  Both were previously covered only incidentally via
+the CLI tests — this file pins their layout rules directly.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.render import render_series, render_topology
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+class TestRenderTopology:
+    def test_all_private(self):
+        text = render_topology([(0,), (1,)], [(0,), (1,)], cores=2)
+        assert text.splitlines() == [
+            "cores 0   1",
+            "L2    [0] [1]",
+            "L3    [0] [1]",
+        ]
+
+    def test_merged_groups_bracket_their_span(self):
+        text = render_topology([(0, 1), (2, 3)], [(0, 1, 2, 3)], cores=4)
+        lines = text.splitlines()
+        assert lines[1] == "L2    [0  1 ] [2  3 ]"
+        assert lines[2] == "L3    [0  1   2   3 ]"
+
+    def test_group_order_does_not_matter(self):
+        # Groups are sorted before drawing: (3, 2) renders like (2, 3).
+        forwards = render_topology([(0, 1), (2, 3)], [(0, 1, 2, 3)], cores=4)
+        backwards = render_topology([(1, 0), (3, 2)], [(3, 1, 2, 0)], cores=4)
+        assert forwards == backwards
+
+    def test_asymmetric_levels(self):
+        text = render_topology([(0,), (1,), (2, 3)],
+                               [(0, 1), (2,), (3,)], cores=4)
+        lines = text.splitlines()
+        assert lines[1] == "L2    [0] [1] [2  3 ]"
+        assert lines[2] == "L3    [0  1 ] [2] [3]"
+
+    def test_sixteen_core_header(self):
+        text = render_topology([tuple(range(16))], [tuple(range(16))])
+        header = text.splitlines()[0]
+        assert header.startswith("cores 0   1")
+        assert header.endswith("15")
+
+    def test_every_core_appears_once_per_level(self):
+        text = render_topology([(0, 1, 2, 3)], [(0,), (1,), (2, 3)], cores=4)
+        for line in text.splitlines()[1:]:
+            body = line[6:]  # drop the "L2    " / "L3    " prefix
+            for core in range(4):
+                assert body.count(str(core)) == 1
+
+
+class TestRenderSeries:
+    def test_empty_returns_just_the_label(self):
+        assert render_series([], label="y ") == "y "
+
+    def test_extremes_map_to_extreme_blocks(self):
+        bar = render_series([1.0, 2.0, 3.0])
+        assert bar[0] == BLOCKS[0]
+        assert bar[2] == BLOCKS[-1]
+
+    def test_range_annotation(self):
+        assert render_series([1.0, 2.0]).endswith("[1.000 .. 2.000]")
+
+    def test_constant_series_renders_flat(self):
+        bar = render_series([2.5, 2.5, 2.5])
+        assert bar.startswith(BLOCKS[0] * 3)
+        assert "[2.500 .. 2.500]" in bar
+
+    def test_label_prefixes(self):
+        assert render_series([1.0], label="trend ").startswith("trend ")
+
+    @given(values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=30))
+    def test_one_block_per_value_all_valid(self, values):
+        out = render_series(values)
+        bar = out.split("  [")[0]
+        assert len(bar) == len(values)
+        assert all(ch in BLOCKS for ch in bar)
+
+    @given(values=st.lists(
+        st.floats(min_value=0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=30))
+    def test_monotone_in_value(self, values):
+        # A larger value never renders as a shorter block than a smaller
+        # one in the same series.
+        bar = render_series(values).split("  [")[0]
+        heights = [BLOCKS.index(ch) for ch in bar]
+        for (va, ha) in zip(values, heights):
+            for (vb, hb) in zip(values, heights):
+                if va < vb:
+                    assert ha <= hb

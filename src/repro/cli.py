@@ -31,14 +31,26 @@ Commands:
   failing is quarantined while the rest of the sweep completes, and
   ``--sweep-journal`` records every finished run so a killed sweep resumes
   with ``--resume-sweep``, rerunning only the missing runs.
+- ``journal PATH [--json]`` — validate and summarize a sweep journal:
+  completed/quarantined/retried runs, resume count, wall-clock latency,
+  whether the tail is torn (a mid-write kill), and whether the sweep is
+  resumable.  Exits 6 (``CheckpointError``) when the journal is unreadable.
+- ``serve --state-dir DIR [--host H] [--port P] [--max-jobs N]
+  [--max-queued N] [--job-timeout S] [--quota TENANT=W[:QUEUED[:RUNNING]]]``
+  — run the crash-tolerant multi-tenant simulation service (see DESIGN.md
+  §10): jobs over HTTP, per-tenant quotas with weighted-fair scheduling,
+  bounded queues with 429 load shedding, SSE progress streams, and
+  restart-time recovery from DIR.  SIGTERM drains gracefully: exits 0 when
+  nothing was interrupted, 8 when resumable jobs remain in DIR.
 
 Errors from the simulator exit with a distinct code per class so sweep
 scripts can tell failures apart: ``ConfigError`` 3,
 ``TopologyInvariantError`` 4, ``FaultInjectedError`` 5, ``CheckpointError``
 6, ``WorkerCrashError`` 7, ``SweepInterrupted`` 8 (SIGINT/SIGTERM after
-draining in-flight runs and flushing the journal), any other ``ReproError``
-2.  A supervised ``compare`` that finishes with quarantined runs prints
-what it salvaged and exits 1.
+draining in-flight runs and flushing the journal), ``ServiceError`` 9, any
+other ``ReproError`` 2.  The consolidated table lives in README
+("Exit codes").  A supervised ``compare`` that finishes with quarantined
+runs prints what it salvaged and exits 1.
 """
 
 from __future__ import annotations
@@ -60,21 +72,13 @@ from repro.sim.experiment import run_scheme
 from repro.sim.parallel import RunSpec, resolve_jobs, run_many
 from repro.sim.supervisor import SweepPolicy, run_supervised
 from repro.sim.workload import Workload
-from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS, mix_by_name
+from repro.workloads import MIXES, PARSEC_BENCHMARKS, SPEC_BENCHMARKS
 
 
 def _workload_from_name(name: str) -> Workload:
-    if name.lower().startswith("mix"):
-        return Workload.from_mix(mix_by_name(name.upper().replace("MIX", "MIX ")
-                                             .replace("MIX  ", "MIX ").strip()))
-    if name.startswith("alone:"):
-        return Workload.alone(name.split(":", 1)[1])
-    if name in PARSEC_BENCHMARKS:
-        return Workload.from_parsec(name)
-    raise SystemExit(
-        f"unknown workload {name!r}: use 'MIX 01'..'MIX 12', a PARSEC name "
-        f"({', '.join(sorted(PARSEC_BENCHMARKS))}) or 'alone:<spec>'"
-    )
+    # One resolver for the CLI and the service: a bad name is a ConfigError
+    # (exit 3 here, HTTP 400 at the service's admission boundary).
+    return Workload.from_name(name)
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
@@ -215,6 +219,62 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_journal(args: argparse.Namespace) -> int:
+    from repro.sim.supervisor import inspect_journal
+
+    summary = inspect_journal(args.path)
+    if args.json:
+        print(json.dumps(summary.to_json(), indent=2, sort_keys=True))
+    else:
+        print(summary.render())
+    return 0
+
+
+def _parse_quota(text: str):
+    """``TENANT=WEIGHT[:QUEUED[:RUNNING]]`` -> (tenant, TenantQuota)."""
+    from repro.serve.queue import TenantQuota
+
+    tenant, sep, rest = text.partition("=")
+    if not sep or not tenant:
+        raise ConfigError(
+            "--quota", f"expected TENANT=WEIGHT[:QUEUED[:RUNNING]], got {text!r}")
+    parts = rest.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise ConfigError(
+            "--quota", f"expected TENANT=WEIGHT[:QUEUED[:RUNNING]], got {text!r}")
+    try:
+        weight = float(parts[0])
+        max_queued = int(parts[1]) if len(parts) > 1 else 8
+        max_running = int(parts[2]) if len(parts) > 2 else 1
+    except ValueError:
+        raise ConfigError(
+            "--quota", f"non-numeric quota in {text!r}") from None
+    return tenant, TenantQuota(weight=weight, max_queued=max_queued,
+                               max_running=max_running)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceConfig, TenantQuota, run_service
+
+    quotas = dict(_parse_quota(q) for q in args.quota or ())
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent_jobs=args.max_jobs,
+        max_queued=args.max_queued,
+        default_quota=TenantQuota(max_queued=args.max_queued_per_tenant,
+                                  max_running=args.max_running_per_tenant),
+        quotas=quotas,
+        job_timeout=args.job_timeout,
+        drain_grace=args.drain_grace,
+    )
+    print(f"repro serve: state dir {args.state_dir}, "
+          f"{args.max_jobs} concurrent job(s); the bound address lands in "
+          f"{os.path.join(args.state_dir, 'serve.json')}", file=sys.stderr)
+    return run_service(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -301,6 +361,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume-sweep", action="store_true",
         help="load completed runs from --sweep-journal and execute only "
              "the missing ones (bit-identical to an uninterrupted sweep)")
+
+    journal_parser = sub.add_parser(
+        "journal", help="validate and summarize a sweep journal")
+    journal_parser.add_argument("path", help="JSONL sweep journal")
+    journal_parser.add_argument("--json", action="store_true",
+                                help="machine-readable summary")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the multi-tenant simulation service")
+    serve_parser.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable service state: job specs, journals, results; the "
+             "service recovers from DIR at startup")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = OS-assigned; see DIR/serve.json)")
+    serve_parser.add_argument(
+        "--max-jobs", type=int, default=2, metavar="N",
+        help="concurrently running jobs across all tenants (default 2)")
+    serve_parser.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="global queue bound; beyond it submissions shed with 429")
+    serve_parser.add_argument(
+        "--max-queued-per-tenant", type=int, default=8, metavar="N",
+        help="default per-tenant queue quota (default 8)")
+    serve_parser.add_argument(
+        "--max-running-per-tenant", type=int, default=1, metavar="N",
+        help="default per-tenant running cap (default 1)")
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="default per-job wall-clock watchdog; a job's 'max_seconds' "
+             "overrides it (default: no limit)")
+    serve_parser.add_argument(
+        "--quota", action="append", metavar="TENANT=W[:QUEUED[:RUNNING]]",
+        help="per-tenant override: dispatch weight, queue quota, running "
+             "cap (repeatable)")
+    serve_parser.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="S",
+        help="seconds a drain waits for SIGTERM'd jobs to checkpoint "
+             "before SIGKILLing them (default 10)")
     return parser
 
 
@@ -311,6 +412,8 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "compare": cmd_compare,
+    "journal": cmd_journal,
+    "serve": cmd_serve,
 }
 
 

@@ -16,10 +16,21 @@ distinguish *what class of thing went wrong* without parsing messages:
 - :class:`WorkerCrashError` — a sweep worker *process* died (segfault,
   SIGKILL, the OOM killer, an unpicklable crash) instead of raising;
 - :class:`SweepInterrupted` — a supervised sweep received SIGINT/SIGTERM,
-  drained its in-flight runs, flushed its journal and stopped early.
+  drained its in-flight runs, flushed its journal and stopped early;
+- :class:`ServiceError` — the simulation service (``repro serve``) refused
+  or failed a request: saturation (:class:`ServiceSaturatedError`),
+  per-tenant quota (:class:`QuotaExceededError`), drain
+  (:class:`ServiceDrainingError`), an unknown job
+  (:class:`JobNotFoundError`), or a job killed by the service watchdog
+  (:class:`JobTimeoutError`).
 
-Each class carries a distinct process exit code (``exit_code``) used by
-``python -m repro`` so CI failures are diagnosable from the status alone.
+Each class that *declares* an ``exit_code`` carries a distinct process exit
+code used by ``python -m repro`` so CI failures are diagnosable from the
+status alone; the service subclasses deliberately share
+:class:`ServiceError`'s code and differ in ``http_status`` instead — over
+HTTP the response status is the discriminator, and the process exits with
+one well-known "service" code.  The taxonomy is documented (and tested
+against) the exit-code tables in README.md and DESIGN.md.
 
 This module is deliberately import-free so any layer of the package can
 raise these without creating dependency cycles.
@@ -95,3 +106,75 @@ class SweepInterrupted(ReproError):
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class ServiceError(ReproError):
+    """The simulation service refused or failed a request.
+
+    Every service-side failure mode is a subclass carrying the HTTP status
+    the server answers with (``http_status``); all of them share this
+    class's process exit code, because a *service process* that dies of one
+    of these always dies for the same operational reason ("the service
+    layer, not the simulator") — the HTTP status is the fine-grained
+    discriminator for clients.
+    """
+
+    exit_code = 9
+    http_status = 500
+
+
+class ServiceSaturatedError(ServiceError):
+    """Admission control shed the request: the global queue is full.
+
+    Raised *before* anything is enqueued or persisted, so a saturated
+    service holds queue memory constant no matter how fast submissions
+    arrive — the explicit 429 is the whole backpressure mechanism.
+    """
+
+    http_status = 429
+
+
+class QuotaExceededError(ServiceError):
+    """One tenant hit its own queued-jobs bound (the rest are unaffected)."""
+
+    http_status = 429
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is starting up or draining and not admitting jobs."""
+
+    http_status = 503
+
+
+class JobNotFoundError(ServiceError):
+    """The requested job id is not in the service's registry."""
+
+    http_status = 404
+
+
+class JobTimeoutError(ServiceError):
+    """The service watchdog killed a job that exceeded its wall-clock cap.
+
+    This is the *job*-level watchdog layered above the supervisor's
+    per-run ``run_timeout``: even a sweep whose individual runs all beat
+    their timeouts is bounded in total.
+    """
+
+    http_status = 504
+
+
+__all__ = [
+    "CheckpointError",
+    "ConfigError",
+    "FaultInjectedError",
+    "JobNotFoundError",
+    "JobTimeoutError",
+    "QuotaExceededError",
+    "ReproError",
+    "ServiceDrainingError",
+    "ServiceError",
+    "ServiceSaturatedError",
+    "SweepInterrupted",
+    "TopologyInvariantError",
+    "WorkerCrashError",
+]

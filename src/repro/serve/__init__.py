@@ -1,0 +1,47 @@
+"""The crash-tolerant, multi-tenant simulation service (``repro serve``).
+
+Layers (each its own module, each testable without the one above):
+
+- :mod:`repro.serve.jobs` — the job model: validated submissions
+  (:class:`JobSpec`), in-service state (:class:`Job`), the durable per-job
+  directory contract, and the spawned job-process entry point.
+- :mod:`repro.serve.queue` — bounded admission + stride-scheduled
+  weighted-fair dispatch (:class:`FairQueue`, :class:`TenantQuota`).
+- :mod:`repro.serve.recovery` — restart-time classification of the state
+  dir (:func:`recover_state`): terminal / interrupted-resumable / queued.
+- :mod:`repro.serve.app` — the asyncio HTTP service itself
+  (:class:`SimulationService`, :func:`run_service`).
+- :mod:`repro.serve.client` — a stdlib client (:class:`ServiceClient`)
+  for tests, examples and scripts.
+
+See DESIGN.md §10 for the architecture and README for a walkthrough.
+"""
+
+from repro.serve.app import (
+    SERVE_INFO_FILE,
+    ServiceConfig,
+    SimulationService,
+    run_service,
+)
+from repro.serve.client import ServiceClient, ServiceHTTPError
+from repro.serve.jobs import Job, JobSpec, job_id, known_schemes
+from repro.serve.queue import FairQueue, TenantQuota
+from repro.serve.recovery import RecoveredJob, RecoveryReport, recover_state
+
+__all__ = [
+    "FairQueue",
+    "Job",
+    "JobSpec",
+    "RecoveredJob",
+    "RecoveryReport",
+    "SERVE_INFO_FILE",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHTTPError",
+    "SimulationService",
+    "TenantQuota",
+    "job_id",
+    "known_schemes",
+    "recover_state",
+    "run_service",
+]

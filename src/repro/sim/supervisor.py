@@ -142,6 +142,15 @@ class SweepPolicy:
         return delay * (0.5 + jitter / 2)
 
 
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (deterministic, no interp)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-int(q * 100) * len(ordered) // 100))  # ceil(q*n)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 # -- outcomes and the report ------------------------------------------------
 
 @dataclass
@@ -213,6 +222,23 @@ class SweepReport:
                 raise WorkerCrashError(
                     f"run {outcome.index} failed: {outcome.error}")
 
+    def latency(self) -> Dict[str, float]:
+        """Wall-clock shape of the sweep: total plus per-run percentiles.
+
+        ``total`` is this sweep invocation's wall clock; the percentiles
+        (nearest-rank ``p50``/``p90``/``max``) are over the per-run elapsed
+        of every completed run, journal-resumed ones included, so a service
+        can report job latency without re-parsing journals.
+        """
+        elapsed = [o.elapsed for o in self.outcomes if o.status == "ok"]
+        return {
+            "total": self.elapsed,
+            "runs": float(len(elapsed)),
+            "p50": _percentile(elapsed, 0.50),
+            "p90": _percentile(elapsed, 0.90),
+            "max": max(elapsed) if elapsed else 0.0,
+        }
+
     def summary(self) -> str:
         parts = [f"{len(self.succeeded)}/{len(self.outcomes)} runs ok"]
         if self.retried:
@@ -222,6 +248,10 @@ class SweepReport:
         if self.resumed:
             parts.append(f"{len(self.resumed)} resumed from journal")
         parts.append(f"{self.elapsed:.1f}s")
+        lat = self.latency()
+        if lat["runs"]:
+            parts.append(f"run p50/p90/max "
+                         f"{lat['p50']:.1f}/{lat['p90']:.1f}/{lat['max']:.1f}s")
         return ", ".join(parts)
 
 
@@ -368,6 +398,18 @@ class SweepJournal:
         self._write({"kind": "quarantine", "index": index, "key": key,
                      "attempts": attempts, "error": error})
 
+    def record_summary(self, report: "SweepReport") -> None:
+        """Append the sweep's latency summary (total + per-run percentiles).
+
+        Written when a supervised sweep finishes (or drains on a signal),
+        so journal consumers — the service, ``repro journal`` — can report
+        job latency without re-parsing every run record.  Not a ``run``
+        record, so resume logic ignores it.
+        """
+        payload = {"kind": "summary", "completed": len(report.succeeded)}
+        payload.update(report.latency())
+        self._write(payload)
+
     def _write(self, payload: Dict[str, Any]) -> None:
         line = json.dumps(payload, separators=(",", ":"))
         try:
@@ -383,6 +425,195 @@ class SweepJournal:
             self._handle.close()
         except OSError:
             pass
+
+
+# -- journal inspection ------------------------------------------------------
+
+@dataclass
+class JournalSummary:
+    """What a sweep journal says happened, without loading any results.
+
+    Produced by :func:`inspect_journal`; shared by the service's restart
+    recovery (deciding whether a journal is resumable) and the ``repro
+    journal`` CLI (humans debugging a crashed sweep).
+    """
+
+    path: str
+    version: int
+    total: int
+    """Run count the header promises."""
+
+    completed: List[int]
+    """Indices with a durable ``run`` record."""
+
+    quarantined: List[int]
+    """Indices quarantined and never subsequently completed."""
+
+    retried: List[int]
+    """Completed indices whose final record took more than one attempt."""
+
+    resumes: int
+    """How many times a sweep resumed from this journal."""
+
+    truncated_tail: bool
+    """The file ends in a half-written line — the signature of a SIGKILL
+    (or power loss) mid-write; the torn record was never durable."""
+
+    bad_lines: int
+    """Unparseable lines, truncated tail included."""
+
+    elapsed: Optional[float] = None
+    """Sweep wall clock from the latest ``summary`` record, if any."""
+
+    latency: Optional[Dict[str, float]] = None
+    """Per-run percentiles (``p50``/``p90``/``max``) — from the latest
+    ``summary`` record when present, else recomputed from run records."""
+
+    @property
+    def missing(self) -> int:
+        return self.total - len(self.completed)
+
+    @property
+    def complete(self) -> bool:
+        return self.missing == 0 and not self.quarantined
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``repro journal`` body)."""
+        lines = [f"journal: {self.path} (format v{self.version})",
+                 f"runs: {len(self.completed)}/{self.total} completed"
+                 + (f", {len(self.quarantined)} quarantined"
+                    if self.quarantined else "")
+                 + (f", {len(self.retried)} retried" if self.retried else "")]
+        if self.resumes:
+            lines.append(f"resumes: {self.resumes}")
+        if self.truncated_tail:
+            lines.append("truncated tail: yes — the final line is torn "
+                         "(mid-write kill); that record was never durable")
+        elif self.bad_lines:
+            lines.append(f"unreadable lines: {self.bad_lines}")
+        if self.latency is not None:
+            total = (f"total {self.elapsed:.1f}s, "
+                     if self.elapsed is not None else "")
+            lines.append(f"wall-clock: {total}per-run p50/p90/max "
+                         f"{self.latency['p50']:.1f}/"
+                         f"{self.latency['p90']:.1f}/"
+                         f"{self.latency['max']:.1f}s")
+        if self.complete:
+            lines.append("status: complete")
+        else:
+            parts = []
+            if self.missing:
+                parts.append(f"{self.missing} run(s) missing")
+            if self.quarantined:
+                parts.append(f"{len(self.quarantined)} quarantined "
+                             "(fresh attempt budget on resume)")
+            lines.append(f"status: resumable — {', '.join(parts)}")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path, "version": self.version, "total": self.total,
+            "completed": self.completed, "quarantined": self.quarantined,
+            "retried": self.retried, "resumes": self.resumes,
+            "truncated_tail": self.truncated_tail,
+            "bad_lines": self.bad_lines, "elapsed": self.elapsed,
+            "latency": self.latency, "missing": self.missing,
+            "complete": self.complete,
+        }
+
+
+def inspect_journal(path, keys: Optional[Sequence[str]] = None) -> JournalSummary:
+    """Validate and summarize a sweep journal without loading results.
+
+    With ``keys`` the journal is held to the same standard as a resume:
+    the header must match this sweep's spec digests and every run record
+    must carry the right key, else :class:`CheckpointError`.  Without
+    ``keys`` the journal is summarized as found (mismatched run records
+    still raise — they mean the file is internally inconsistent).
+
+    Raises:
+        CheckpointError: missing file, unreadable header, version drift,
+            or (with ``keys``) a journal belonging to a different sweep.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no sweep journal at {path}")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read sweep journal {path}: {exc}") from exc
+    lines = [line for line in text.split("\n") if line.strip()]
+    header: Optional[Dict[str, Any]] = None
+    runs: Dict[int, Dict[str, Any]] = {}
+    quarantined: Dict[int, int] = {}
+    resumes = 0
+    bad_lines = 0
+    truncated_tail = False
+    summary_record: Optional[Dict[str, Any]] = None
+    for lineno, line in enumerate(lines):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            bad_lines += 1
+            truncated_tail = lineno == len(lines) - 1
+            continue
+        kind = payload.get("kind")
+        if kind == "header":
+            if header is None:
+                header = payload
+        elif kind == "run":
+            index = payload.get("index")
+            if not isinstance(index, int):
+                raise CheckpointError(
+                    f"sweep journal {path} has a run record without a "
+                    "valid index")
+            if keys is not None and not (
+                    0 <= index < len(keys)
+                    and payload.get("key") == keys[index]):
+                raise CheckpointError(
+                    f"sweep journal {path} records run {index!r} with key "
+                    f"{payload.get('key')!r}, which is not part of this "
+                    "sweep — refusing to resume a different experiment")
+            runs[index] = payload
+            quarantined.pop(index, None)
+        elif kind == "quarantine":
+            index = payload.get("index")
+            if isinstance(index, int) and index not in runs:
+                quarantined[index] = quarantined.get(index, 0) + 1
+        elif kind == "resume":
+            resumes += 1
+        elif kind == "summary":
+            summary_record = payload
+    if header is None:
+        raise CheckpointError(f"sweep journal {path} has no readable header")
+    if header.get("version") != JOURNAL_VERSION:
+        raise CheckpointError(
+            f"sweep journal {path} has format version "
+            f"{header.get('version')}, this build reads {JOURNAL_VERSION}")
+    if keys is not None and list(header.get("keys", [])) != list(keys):
+        raise CheckpointError(
+            f"sweep journal {path} belongs to a different sweep "
+            f"({len(header.get('keys', []))} runs vs {len(keys)} expected, "
+            "or mismatched specs)")
+    total = int(header.get("runs", len(header.get("keys", []))))
+    if summary_record is not None:
+        elapsed = summary_record.get("total")
+        latency = {k: float(summary_record.get(k, 0.0))
+                   for k in ("p50", "p90", "max")}
+    else:
+        per_run = [float(r.get("elapsed", 0.0)) for r in runs.values()]
+        elapsed = None
+        latency = ({"p50": _percentile(per_run, 0.50),
+                    "p90": _percentile(per_run, 0.90),
+                    "max": max(per_run)} if per_run else None)
+    return JournalSummary(
+        path=str(path), version=int(header["version"]), total=total,
+        completed=sorted(runs),
+        quarantined=sorted(quarantined),
+        retried=sorted(i for i, r in runs.items()
+                       if int(r.get("attempts", 1)) > 1),
+        resumes=resumes, truncated_tail=truncated_tail,
+        bad_lines=bad_lines, elapsed=elapsed, latency=latency)
 
 
 # -- signal draining --------------------------------------------------------
@@ -431,13 +662,39 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     ``Process.kill`` is the only lever that actually reclaims the worker.
     (``_processes`` is private but stable across CPython 3.8–3.13.)
     """
-    processes = list(getattr(pool, "_processes", {}).values())
+    processes = list((getattr(pool, "_processes", None) or {}).values())
     for process in processes:
         try:
             process.kill()
         except OSError:
             pass
     pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _retire_pool(pool: ProcessPoolExecutor, grace: float = 5.0) -> None:
+    """Shut a pool down so the caller's *process exit* can never hang.
+
+    ``shutdown(wait=False)`` defers the real teardown to interpreter-exit
+    hooks, which join the (non-daemonic) workers.  CPython's executor
+    shutdown has a rare race in which a worker misses its exit sentinel
+    and stays blocked in its call-queue read forever — it holds its own
+    write end of that pipe, so EOF never arrives, and the joining process
+    wedges at exit.  Give the polite path a short grace, then SIGKILL the
+    stragglers: by the time we are here every result we care about has
+    already travelled back through its future (or been cancelled), so an
+    idle worker holds nothing worth draining.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    deadline = time.monotonic() + grace
+    for process in processes:
+        process.join(max(deadline - time.monotonic(), 0.0))
+    for process in processes:
+        if process.is_alive():
+            try:
+                process.kill()
+            except OSError:
+                pass
 
 
 def run_supervised(
@@ -619,7 +876,7 @@ def run_supervised(
                             f"{specs[index].workload.name})")
                     fail(index, exc, elapsed)
                 if pool_broken and pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    _kill_pool(pool)
                     pool = None
 
                 # Hang detection: an overdue, still-running future means
@@ -657,15 +914,17 @@ def run_supervised(
                             pending.appendleft(index)  # innocent: no charge
             interrupted = drain.received is not None
             interrupted_by = drain.name
+        report = SweepReport(results=results, outcomes=outcomes,
+                             elapsed=time.monotonic() - t_start,
+                             interrupted=interrupted)
+        if jrnl is not None:
+            jrnl.record_summary(report)
     finally:
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            _retire_pool(pool)
         if jrnl is not None:
             jrnl.close()
 
-    report = SweepReport(results=results, outcomes=outcomes,
-                         elapsed=time.monotonic() - t_start,
-                         interrupted=interrupted)
     if interrupted:
         raise SweepInterrupted(
             f"sweep interrupted by {interrupted_by} after draining in-flight "
@@ -691,6 +950,8 @@ __all__ = [
     "RunOutcome",
     "SweepReport",
     "SweepJournal",
+    "JournalSummary",
+    "inspect_journal",
     "run_supervised",
     "spec_key",
     "result_to_json",

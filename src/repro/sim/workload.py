@@ -65,6 +65,40 @@ class Workload:
         )
 
     @staticmethod
+    def from_name(name: str, cores: int = 16) -> "Workload":
+        """Parse a workload name the way the CLI and the service accept it.
+
+        ``"MIX 01"`` (case/spacing-insensitive) → a Table 5 mix, a PARSEC
+        benchmark name → the multithreaded binding, ``"alone:<spec>"`` →
+        one SPEC benchmark on core 0.  Raises
+        :class:`~repro.resilience.errors.ConfigError` (field ``workload``)
+        for anything else, so both front ends reject bad submissions with
+        the same typed error.
+        """
+        from repro.resilience.errors import ConfigError
+        from repro.workloads import PARSEC_BENCHMARKS, mix_by_name
+
+        if name.lower().startswith("mix"):
+            normalized = (name.upper().replace("MIX", "MIX ")
+                          .replace("MIX  ", "MIX ").strip())
+            try:
+                return Workload.from_mix(mix_by_name(normalized))
+            except ValueError as exc:
+                raise ConfigError("workload", str(exc)) from None
+        if name.startswith("alone:"):
+            try:
+                return Workload.alone(name.split(":", 1)[1], cores=cores)
+            except (KeyError, ValueError) as exc:
+                raise ConfigError("workload", str(exc)) from None
+        if name in PARSEC_BENCHMARKS:
+            return Workload.from_parsec(name)
+        raise ConfigError(
+            "workload",
+            f"unknown workload {name!r}: use 'MIX 01'..'MIX 12', a PARSEC "
+            f"name ({', '.join(sorted(PARSEC_BENCHMARKS))}) or "
+            "'alone:<spec>'")
+
+    @staticmethod
     def alone(benchmark_name: str, cores: int = 16) -> "Workload":
         """One SPEC benchmark on core 0, all other cores idle."""
         model = spec_benchmark(benchmark_name).model

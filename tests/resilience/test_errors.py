@@ -1,0 +1,101 @@
+"""The error taxonomy's contract: distinct, documented exit codes.
+
+``python -m repro`` (and the service's job children) report failures
+through process exit codes, so CI and operators diagnose a dead process
+from its status alone.  That only works while the codes stay unique and
+the documentation stays honest — both are asserted here against the
+class hierarchy itself, so adding an error class without a distinct code
+and a row in README.md/DESIGN.md fails the build.
+"""
+
+import pathlib
+
+import pytest
+
+import repro.resilience.errors as errors_module
+from repro.resilience.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultInjectedError,
+    JobNotFoundError,
+    JobTimeoutError,
+    QuotaExceededError,
+    ReproError,
+    ServiceDrainingError,
+    ServiceError,
+    ServiceSaturatedError,
+    SweepInterrupted,
+    TopologyInvariantError,
+    WorkerCrashError,
+)
+
+REPO = pathlib.Path(__file__).parents[2]
+
+
+def _all_error_classes():
+    """Every ReproError subclass the package exports (plus the root)."""
+    seen, frontier = [], [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        seen.append(cls)
+        frontier.extend(cls.__subclasses__())
+    return seen
+
+
+def _declaring_classes():
+    """Classes that *declare* their own exit code (not inherited)."""
+    return [cls for cls in _all_error_classes() if "exit_code" in cls.__dict__]
+
+
+class TestExitCodeTaxonomy:
+    def test_every_declared_exit_code_is_unique(self):
+        declared = _declaring_classes()
+        codes = [cls.exit_code for cls in declared]
+        assert len(codes) == len(set(codes)), (
+            f"duplicate exit codes: "
+            f"{sorted((cls.__name__, cls.exit_code) for cls in declared)}")
+
+    def test_codes_avoid_the_reserved_ones(self):
+        # 0 = success, 1 = generic/partial, 2 also means argparse usage
+        # error — ReproError deliberately shares 2; everything else must
+        # be > 2 and small enough to survive the 8-bit exit status.
+        for cls in _declaring_classes():
+            assert 2 <= cls.exit_code < 126, cls
+
+    def test_known_assignments_are_stable(self):
+        # These are public API: scripts and CI match on them.
+        assert ReproError.exit_code == 2
+        assert ConfigError.exit_code == 3
+        assert TopologyInvariantError.exit_code == 4
+        assert FaultInjectedError.exit_code == 5
+        assert CheckpointError.exit_code == 6
+        assert WorkerCrashError.exit_code == 7
+        assert SweepInterrupted.exit_code == 8
+        assert ServiceError.exit_code == 9
+
+    def test_service_subclasses_share_the_service_code(self):
+        # Over HTTP the *status* is the discriminator; the process exit
+        # code only says "the service layer failed".
+        for cls in (ServiceSaturatedError, QuotaExceededError,
+                    ServiceDrainingError, JobNotFoundError, JobTimeoutError):
+            assert "exit_code" not in cls.__dict__
+            assert cls.exit_code == 9
+            assert cls.http_status in (404, 429, 503, 504)
+
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md"])
+    def test_every_declared_code_is_documented(self, doc):
+        text = (REPO / doc).read_text(encoding="utf-8")
+        for cls in _declaring_classes():
+            row = f"| {cls.exit_code} | `{cls.__name__}`"
+            assert row in text, (
+                f"{doc} is missing the exit-code table row for "
+                f"{cls.__name__} (expected a line starting {row!r})")
+
+    def test_config_error_names_the_field(self):
+        exc = ConfigError("epochs", "must be >= 1")
+        assert str(exc) == "epochs: must be >= 1"
+        assert isinstance(exc, ValueError)
+
+    def test_module_all_exports_every_class(self):
+        for cls in _all_error_classes():
+            assert cls.__name__ in errors_module.__all__

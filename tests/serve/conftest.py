@@ -1,0 +1,90 @@
+"""Shared harness for service tests: boot, discover, drain, kill.
+
+The service under test always runs as a real subprocess in its own session
+(``start_new_session=True``) so chaos tests can SIGKILL the whole process
+group — service *and* its spawned job processes — exactly like a machine
+loss, without orphaning workers into the test run.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).parents[2]
+
+
+def start_service(state_dir, *extra, wait_ready=True, timeout=60.0):
+    """Boot ``repro serve`` on an OS-assigned port; returns (proc, client)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    env.pop("REPRO_JOBS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0", *extra],
+        env=env, cwd=str(REPO), start_new_session=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    if not wait_ready:
+        return proc, None
+    return proc, wait_for_ready(state_dir, proc, timeout=timeout)
+
+
+def wait_for_ready(state_dir, proc=None, timeout=60.0):
+    """Poll until ``readyz`` says ready; returns a connected client."""
+    from repro.serve.client import ServiceClient
+
+    info = pathlib.Path(state_dir) / "serve.json"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc is not None and proc.poll() is not None:
+            raise AssertionError(
+                f"service exited {proc.returncode} during startup:\n"
+                f"{proc.stderr.read()}")
+        if info.exists():
+            try:
+                client = ServiceClient.from_state_dir(state_dir, timeout=10.0)
+                if client.readyz().get("ready"):
+                    return client
+            except Exception:
+                pass  # stale serve.json from a previous boot, or not bound yet
+        time.sleep(0.05)
+    raise AssertionError(f"service not ready within {timeout:g}s")
+
+
+def wait_for_journal_run(job_dir, timeout=60.0):
+    """Block until the job's journal holds >= 1 completed-run record.
+
+    The definition of "mid-sweep": the spawned job process is past its
+    bootstrap, the journal header is durable, and at least one run result
+    landed — so a kill/drain now provably interrupts in-flight work.
+    """
+    journal = pathlib.Path(job_dir) / "journal.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists() and '"kind":"run"' in journal.read_text():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"no run record in {journal} within {timeout:g}s")
+
+
+def drain(proc, timeout=120.0):
+    """SIGTERM the service and return its exit code."""
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        return proc.wait(timeout=timeout)
+    finally:
+        if proc.poll() is None:
+            kill_group(proc)
+
+
+def kill_group(proc):
+    """SIGKILL the service's whole process group (service + job children)."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait()

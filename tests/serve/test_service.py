@@ -1,0 +1,252 @@
+"""End-to-end tests against a live ``repro serve`` subprocess.
+
+A module-scoped service instance carries the cheap smoke/API tests (CI's
+gating ``service-smoke`` job runs this file); behavioral tests that need
+their own admission limits, watchdog or drain semantics boot short-lived
+instances.  Every simulation here is the ``tiny`` preset — real runs, not
+mocks, in a second or two each.
+"""
+
+import http.client
+import json
+import signal
+import time
+
+import pytest
+
+from repro.serve.client import ServiceHTTPError
+from repro.sim.experiment import run_scheme
+from repro.sim.supervisor import result_to_json
+from repro.sim.workload import Workload
+from repro.config import preset
+from repro.resilience.errors import SweepInterrupted
+
+from tests.serve.conftest import (
+    drain,
+    kill_group,
+    start_service,
+    wait_for_journal_run,
+)
+
+FAST_JOB = dict(workload="MIX 01", scheme="morphcache", preset="tiny",
+                epochs=2, seed=3)
+#: ~4 tiny runs: long enough to observe "running", queued backlogs, drains.
+SLOW_JOB = dict(workload="MIX 01",
+                schemes=["morphcache", "pipp", "dsr", "ucp"],
+                preset="tiny", epochs=3, seed=5, trace=False)
+
+
+@pytest.fixture(scope="module")
+def svc(tmp_path_factory):
+    state = tmp_path_factory.mktemp("svc-state")
+    proc, client = start_service(state, "--max-jobs", "2")
+    yield type("Svc", (), {"proc": proc, "client": client, "state": state})
+    kill_group(proc)
+
+
+class TestSmoke:
+    def test_healthz_readyz_metrics(self, svc):
+        assert svc.client.healthz()["status"] == "ok"
+        assert svc.client.readyz()["ready"] is True
+        text = svc.client.metrics_text()
+        assert "repro_serve_queue_depth" in text
+        assert "# TYPE repro_serve_jobs_total counter" in text
+
+    def test_root_and_queue(self, svc):
+        assert svc.client.queue()["depth"] >= 0
+        conn = http.client.HTTPConnection(svc.client.host, svc.client.port,
+                                          timeout=10)
+        conn.request("GET", "/")
+        body = json.loads(conn.getresponse().read())
+        conn.close()
+        assert body["service"] == "repro.serve"
+
+
+class TestJobs:
+    def test_submit_run_result_bit_identical_to_library(self, svc):
+        submitted = svc.client.submit(tenant="alice", **FAST_JOB)
+        job_id = submitted["job"]["id"]
+        status = svc.client.wait_for_state(
+            job_id, ("done", "partial", "failed"), timeout=120)
+        assert status["state"] == "done"
+        assert status["completed_runs"] == 1
+        assert status["latency"]["total"] > 0
+        assert {"p50", "p90", "max"} <= set(status["latency"])
+
+        result = svc.client.result(job_id)
+        assert len(result["runs"]) == 1
+        run = result["runs"][0]
+        assert run["scheme"] == "morphcache"
+        # The service's answer is bit-identical to calling the library:
+        # same spec -> same JSON, floats round-tripped exactly.
+        reference = run_scheme("morphcache", Workload.from_name("MIX 01"),
+                               preset("tiny"), seed=3, epochs=2)
+        assert run["result"] == result_to_json(reference)
+        assert run["mean_throughput"] == reference.mean_throughput
+
+    def test_unknown_job_is_typed_404(self, svc):
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            svc.client.job("000999-nobody")
+        assert excinfo.value.status == 404
+        assert excinfo.value.error_type == "JobNotFoundError"
+        assert excinfo.value.exit_code == 9
+
+    def test_invalid_spec_is_typed_400(self, svc):
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            svc.client.submit(tenant="alice", workload="quake3")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "ConfigError"
+
+    def test_malformed_body_is_400(self, svc):
+        conn = http.client.HTTPConnection(svc.client.host, svc.client.port,
+                                          timeout=10)
+        conn.request("POST", "/jobs", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert payload["error"]["type"] == "ConfigError"
+
+    def test_sse_stream_reports_progress_then_end(self, svc):
+        submitted = svc.client.submit(tenant="alice", **dict(FAST_JOB, seed=4))
+        job_id = submitted["job"]["id"]
+        events = list(svc.client.events(job_id, timeout=120))
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "job-status"
+        assert "epoch" in kinds      # live per-epoch progress from the trace
+        assert "run" in kinds        # the journal's completed-run envelope
+        assert kinds[-1] == "end"
+        assert events[-1][1]["state"] == "done"
+        # Result payloads are fetched via /result, not pushed to the stream.
+        for kind, payload in events:
+            if kind == "run":
+                assert "result" not in payload
+
+    def test_cancel_queued_job(self, svc):
+        running = svc.client.submit(tenant="carol", **SLOW_JOB)
+        queued = svc.client.submit(tenant="carol", **dict(SLOW_JOB, seed=6))
+        cancelled = svc.client.cancel(queued["job"]["id"])
+        assert cancelled["state"] == "cancelled"
+        # Idempotent: cancelling again reports the same terminal state.
+        assert svc.client.cancel(queued["job"]["id"])["state"] == "cancelled"
+        done = svc.client.wait_for_state(
+            running["job"]["id"], ("done", "partial", "failed"), timeout=120)
+        assert done["state"] == "done"
+
+
+class TestAdmissionControl:
+    def test_shedding_and_drain_interrupt(self, tmp_path):
+        proc, client = start_service(
+            tmp_path, "--max-jobs", "1", "--max-queued", "2",
+            "--max-queued-per-tenant", "1")
+        try:
+            hog = client.submit(tenant="hog", **SLOW_JOB)
+            job_dir = tmp_path / "jobs" / hog["job"]["id"]
+            client.wait_for_state(hog["job"]["id"], ("running",), timeout=60)
+            wait_for_journal_run(job_dir)  # provably mid-sweep
+
+            client.submit(tenant="a", **FAST_JOB)
+            with pytest.raises(ServiceHTTPError) as quota:
+                client.submit(tenant="a", **FAST_JOB)
+            assert quota.value.status == 429
+            assert quota.value.error_type == "QuotaExceededError"
+
+            client.submit(tenant="b", **FAST_JOB)  # queue now at its cap
+            with pytest.raises(ServiceHTTPError) as saturated:
+                client.submit(tenant="c", **FAST_JOB)
+            assert saturated.value.status == 429
+            assert saturated.value.error_type == "ServiceSaturatedError"
+            assert client.queue()["depth"] == 2  # bounded: sheds not stored
+
+            metrics = client.metrics_text()
+            assert 'repro_serve_shed_total{reason="quota"} 1' in metrics
+            assert 'repro_serve_shed_total{reason="saturated"} 1' in metrics
+
+            # Drain with a job mid-flight: SIGTERM forwards to the job,
+            # whose supervisor flushes its journal and exits resumable; the
+            # service exits with the documented interrupted code.
+            code = drain(proc)
+            assert code == SweepInterrupted.exit_code
+            assert (job_dir / "journal.jsonl").exists()
+            assert not (job_dir / "status.json").exists()  # not terminal
+        finally:
+            kill_group(proc)
+
+    def test_draining_service_sheds_with_503(self, tmp_path):
+        proc, client = start_service(tmp_path, "--max-jobs", "1")
+        try:
+            hog = client.submit(tenant="hog", **SLOW_JOB)
+            client.wait_for_state(hog["job"]["id"], ("running",), timeout=60)
+            wait_for_journal_run(tmp_path / "jobs" / hog["job"]["id"])
+            proc.send_signal(signal.SIGTERM)
+            for _ in range(200):  # wait until the drain flips readiness
+                try:
+                    client.readyz()
+                except ServiceHTTPError as exc:
+                    assert exc.status == 503
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("readyz never reported draining")
+            with pytest.raises(ServiceHTTPError) as shed:
+                client.submit(tenant="late", **FAST_JOB)
+            assert shed.value.status == 503
+            assert shed.value.error_type == "ServiceDrainingError"
+            assert proc.wait(timeout=120) == SweepInterrupted.exit_code
+        finally:
+            kill_group(proc)
+
+
+class TestWatchdogAndDrain:
+    def test_watchdog_kills_overdue_job(self, tmp_path):
+        proc, client = start_service(tmp_path)
+        try:
+            submitted = client.submit(tenant="alice", max_seconds=0.2,
+                                      **SLOW_JOB)
+            status = client.wait_for_state(
+                submitted["job"]["id"], ("done", "partial", "failed"),
+                timeout=120)
+            assert status["state"] == "failed"
+            assert status["error"]["type"] == "JobTimeoutError"
+            assert "watchdog" in status["error"]["message"]
+            # Idle again after the kill: a clean drain exits 0.
+            assert drain(proc) == 0
+        finally:
+            kill_group(proc)
+
+    def test_idle_drain_exits_zero(self, tmp_path):
+        proc, client = start_service(tmp_path)
+        try:
+            assert drain(proc) == 0
+        finally:
+            kill_group(proc)
+
+
+class TestFairness:
+    def test_equal_tenants_share_the_service(self, tmp_path):
+        # Acceptance: two equal-quota tenants submitting simultaneously
+        # each complete >= 40% of all finished jobs.  With one executor
+        # slot, stride scheduling makes the dispatch order alternate.
+        proc, client = start_service(
+            tmp_path, "--max-jobs", "1", "--max-queued-per-tenant", "4")
+        try:
+            job = dict(FAST_JOB, epochs=1, trace=False)
+            ids = []
+            for seed in range(3):
+                ids.append(client.submit(tenant="alice",
+                                         **dict(job, seed=seed))["job"]["id"])
+            for seed in range(3):
+                ids.append(client.submit(tenant="bob",
+                                         **dict(job, seed=seed))["job"]["id"])
+            finished = [client.wait_for_state(job_id, ("done",), timeout=240)
+                        for job_id in ids]
+            by_order = sorted(finished, key=lambda s: s["started_order"])
+            dispatched = [s["tenant"] for s in by_order]
+            assert dispatched == ["alice", "bob"] * 3  # perfect alternation
+            for window in (2, 4, 6):
+                share = dispatched[:window].count("alice") / window
+                assert share >= 0.4
+            assert drain(proc) == 0
+        finally:
+            kill_group(proc)

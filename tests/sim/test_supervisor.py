@@ -33,6 +33,7 @@ from repro.sim.engine import EpochResult, RunResult
 from repro.sim.parallel import RunSpec, run_many
 from repro.sim.supervisor import (
     SweepPolicy,
+    inspect_journal,
     result_from_json,
     result_to_json,
     run_supervised,
@@ -226,9 +227,12 @@ def test_truncated_journal_resumes_clean_and_bit_identical(tmp_path):
     specs = _specs(["(16:1:1)", "(1:1:16)", "morphcache"])
     serial = run_many(specs, jobs=1)
     run_supervised(specs, jobs=1, journal=journal)
-    # Chop the final record mid-line, as a SIGKILL mid-write would.
-    text = journal.read_text()
-    journal.write_text(text.rstrip("\n")[:-25])
+    # Chop the final *run* record mid-line, as a SIGKILL mid-write would.
+    # (The last line of a finished journal is the summary record — drop it
+    # too, exactly what a kill during the last run would have left.)
+    lines = journal.read_text().rstrip("\n").split("\n")
+    assert json.loads(lines[-1])["kind"] == "summary"
+    journal.write_text("\n".join(lines[:-1])[:-25])
     resumed = run_supervised(specs, jobs=1, journal=journal, resume=True)
     assert resumed.ok
     assert len(resumed.resumed) == len(specs) - 1  # only the torn run redone
@@ -270,6 +274,92 @@ def test_quarantined_runs_rerun_on_resume(tmp_path):
     assert resumed.ok
     assert sorted(resumed.resumed) == [0, 2]
     assert resumed.results[1].epochs[0].misses == {0: 1}
+
+
+# -- journal inspection -----------------------------------------------------
+
+def test_inspect_journal_complete_sweep(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    report = run_supervised(_specs(["a", "b", "c"]), jobs=1, journal=journal,
+                            policy=SweepPolicy(**FAST),
+                            worker=_scripted_worker)
+    summary = inspect_journal(journal)
+    assert summary.complete
+    assert summary.completed == [0, 1, 2]
+    assert summary.missing == 0 and summary.resumes == 0
+    assert not summary.truncated_tail and summary.bad_lines == 0
+    # Latency comes from the summary record the sweep appended.
+    assert summary.elapsed == report.latency()["total"]
+    assert summary.latency == {k: report.latency()[k]
+                               for k in ("p50", "p90", "max")}
+    assert summary.latency["p50"] <= summary.latency["p90"] \
+        <= summary.latency["max"]
+    rendered = summary.render()
+    assert "3/3 completed" in rendered and "status: complete" in rendered
+    payload = summary.to_json()
+    assert payload["complete"] is True and payload["missing"] == 0
+
+
+def test_inspect_journal_truncated_tail_is_resumable(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    run_supervised(_specs(["a", "b", "c"]), jobs=1, journal=journal,
+                   policy=SweepPolicy(**FAST), worker=_scripted_worker)
+    lines = journal.read_text().rstrip("\n").split("\n")
+    journal.write_text("\n".join(lines[:-1])[:-20])  # tear the last run
+    summary = inspect_journal(journal)
+    assert summary.truncated_tail and summary.bad_lines == 1
+    assert summary.completed == [0, 1] and summary.missing == 1
+    assert not summary.complete
+    assert "torn" in summary.render()
+    assert "resumable" in summary.render()
+
+
+def test_inspect_journal_reports_quarantines_retries_and_resumes(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    marker = tmp_path / "flaky-marker"
+    specs = _specs(["ok", "fail", f"flaky:{marker}"])
+    run_supervised(specs, jobs=1, journal=journal,
+                   policy=SweepPolicy(retries=1, **FAST),
+                   worker=_scripted_worker)
+    summary = inspect_journal(journal)
+    assert summary.quarantined == [1]   # 'fail' exhausted its retries
+    assert summary.retried == [2]       # 'flaky' needed a second attempt
+    assert summary.completed == [0, 2]
+    run_supervised(specs, jobs=1, journal=journal, resume=True,
+                   policy=SweepPolicy(retries=1, **FAST),
+                   worker=_scripted_worker)
+    resumed = inspect_journal(journal)
+    assert resumed.resumes == 1
+    assert "resumes: 1" in resumed.render()
+
+
+def test_inspect_journal_validates_against_spec_keys(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    specs = _specs(["a", "b"])
+    run_supervised(specs, jobs=1, journal=journal,
+                   policy=SweepPolicy(**FAST), worker=_scripted_worker)
+    assert inspect_journal(journal,
+                           keys=[spec_key(s) for s in specs]).complete
+    with pytest.raises(CheckpointError):
+        inspect_journal(journal, keys=["deadbeef", "deadbeef"])
+    with pytest.raises(CheckpointError):
+        inspect_journal(tmp_path / "absent.jsonl")
+
+
+def test_summary_record_carries_latency_percentiles(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    report = run_supervised(_specs(["a", "b", "c", "d"]), jobs=1,
+                            journal=journal, policy=SweepPolicy(**FAST),
+                            worker=_scripted_worker)
+    last = json.loads(journal.read_text().rstrip("\n").split("\n")[-1])
+    assert last["kind"] == "summary"
+    assert last["completed"] == 4
+    latency = report.latency()
+    assert last["runs"] == latency["runs"] == 4.0
+    for key in ("total", "p50", "p90", "max"):
+        assert last[key] == latency[key]
+    # Nearest-rank: with every elapsed equal the percentiles collapse.
+    assert latency["p50"] <= latency["p90"] <= latency["max"]
 
 
 def test_spec_key_distinguishes_every_field():

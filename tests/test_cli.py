@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import _workload_from_name, build_parser, main
 from repro.render import render_series, render_topology
+from repro.resilience.errors import ConfigError
 
 
 class TestWorkloadParsing:
@@ -19,8 +20,10 @@ class TestWorkloadParsing:
         workload = _workload_from_name("alone:gcc")
         assert workload.active_cores == [0]
 
-    def test_unknown_exits(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_is_typed_config_error(self):
+        # The CLI and the service share Workload.from_name, so both reject
+        # a bad workload with the same typed error (exit 3 / HTTP 400).
+        with pytest.raises(ConfigError, match="workload"):
             _workload_from_name("quake3")
 
 
@@ -138,6 +141,26 @@ class TestCommands:
         resumed = capsys.readouterr().out
         assert "6 resumed from journal" in resumed
         assert resumed.split("sweep:")[0] == first.split("sweep:")[0]
+
+    def test_journal_subcommand_renders_and_jsons(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert main(["compare", "--workload", "MIX 01", "--preset", "tiny",
+                     "--epochs", "1", "--sweep-journal", journal]) == 0
+        capsys.readouterr()
+        assert main(["journal", journal]) == 0
+        rendered = capsys.readouterr().out
+        assert "6/6" in rendered
+        assert main(["journal", journal, "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["completed"] == list(range(6))
+        assert payload["complete"] is True
+        assert {"p50", "p90", "max"} <= set(payload["latency"])
+
+    def test_journal_subcommand_missing_file_exits_6(self, tmp_path, capsys):
+        code = main(["journal", str(tmp_path / "absent.jsonl")])
+        assert code == 6
+        assert "error:" in capsys.readouterr().err
 
 
 class TestExitCodes:

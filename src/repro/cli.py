@@ -36,21 +36,36 @@ Commands:
   whether the tail is torn (a mid-write kill), and whether the sweep is
   resumable.  Exits 6 (``CheckpointError``) when the journal is unreadable.
 - ``serve --state-dir DIR [--host H] [--port P] [--max-jobs N]
-  [--max-queued N] [--job-timeout S] [--quota TENANT=W[:QUEUED[:RUNNING]]]``
+  [--max-queued N] [--job-timeout S] [--quota TENANT=W[:QUEUED[:RUNNING]]]
+  [--workers N]``
   — run the crash-tolerant multi-tenant simulation service (see DESIGN.md
   §10): jobs over HTTP, per-tenant quotas with weighted-fair scheduling,
   bounded queues with 429 load shedding, SSE progress streams, and
   restart-time recovery from DIR.  SIGTERM drains gracefully: exits 0 when
-  nothing was interrupted, 8 when resumable jobs remain in DIR.
+  nothing was interrupted, 8 when resumable jobs remain in DIR.  With
+  ``--workers N`` the state dir becomes a shared worker pool (DESIGN.md
+  §11): N ``repro worker`` processes pull jobs via fenced leases, a
+  SIGKILLed worker's jobs are adopted bit-identically by its peers, and
+  external workers pointed at the same DIR join the pool.
+- ``worker --pool DIR [--worker-id ID] [--drain] [--max-jobs N]`` — run
+  one pool worker against DIR: claim a job's lease, heartbeat it, execute
+  the sweep with the lease token fenced into every journal/status write,
+  repeat.  ``--drain`` exits once every job in the pool is terminal.
+  Exits 8 on SIGTERM mid-sweep (journal flushed, lease released) and 10
+  (``LeaseLostError``) if a peer reclaimed its lease — the fencing that
+  makes zombie writes safe.
+- ``pool status DIR [--json]`` — inspect a pool: per-job state with lease
+  owner/fence/ages/reclaims, worker heartbeats, aggregate counts.
 
 Errors from the simulator exit with a distinct code per class so sweep
 scripts can tell failures apart: ``ConfigError`` 3,
 ``TopologyInvariantError`` 4, ``FaultInjectedError`` 5, ``CheckpointError``
 6, ``WorkerCrashError`` 7, ``SweepInterrupted`` 8 (SIGINT/SIGTERM after
-draining in-flight runs and flushing the journal), ``ServiceError`` 9, any
-other ``ReproError`` 2.  The consolidated table lives in README
-("Exit codes").  A supervised ``compare`` that finishes with quarantined
-runs prints what it salvaged and exits 1.
+draining in-flight runs and flushing the journal), ``ServiceError`` 9,
+``PoolError`` 10 (a worker's lease was reclaimed, or the pool dir is
+unusable), any other ``ReproError`` 2.  The consolidated table lives in
+README ("Exit codes").  A supervised ``compare`` that finishes with
+quarantined runs prints what it salvaged and exits 1.
 """
 
 from __future__ import annotations
@@ -268,11 +283,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
         quotas=quotas,
         job_timeout=args.job_timeout,
         drain_grace=args.drain_grace,
+        workers=args.workers,
+        worker_heartbeat=args.worker_heartbeat,
+        worker_misses=args.worker_misses,
     )
-    print(f"repro serve: state dir {args.state_dir}, "
-          f"{args.max_jobs} concurrent job(s); the bound address lands in "
+    mode = (f"{args.workers} pool worker(s)" if args.workers
+            else f"{args.max_jobs} concurrent job(s)")
+    print(f"repro serve: state dir {args.state_dir}, {mode}; "
+          f"the bound address lands in "
           f"{os.path.join(args.state_dir, 'serve.json')}", file=sys.stderr)
     return run_service(config)
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.serve.pool import SharedPool, run_worker
+
+    worker_id = args.worker_id or f"worker-{os.getpid()}"
+    if args.init:
+        SharedPool.ensure(args.pool, heartbeat=args.heartbeat,
+                          misses=args.misses)
+    done = run_worker(args.pool, worker_id, drain=args.drain,
+                      max_jobs=args.max_jobs)
+    print(f"worker {worker_id}: {done} job(s) completed", file=sys.stderr)
+    return 0
+
+
+def cmd_pool(args: argparse.Namespace) -> int:
+    from repro.serve.pool import pool_status
+
+    status = pool_status(args.pool_dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    config = status["config"]
+    print(f"pool {status['pool']}: heartbeat {config['heartbeat']:g}s, "
+          f"ttl {config['ttl']:g}s, "
+          f"{status['reclaims']} reclaim(s) recorded")
+    counts = ", ".join(f"{state}: {count}"
+                       for state, count in sorted(status["counts"].items()))
+    print(f"jobs: {counts or 'none'}")
+    for job in status["jobs"]:
+        lease = job.get("lease")
+        if lease is None:
+            detail = "unclaimed"
+        elif lease["released"]:
+            detail = (f"lease released by {lease['owner']} "
+                      f"(fence {lease['fence']})")
+        else:
+            detail = (f"lease {lease['owner']} fence {lease['fence']} "
+                      f"hb {lease['heartbeat_age']:.1f}s ago, "
+                      f"{lease['reclaims']} reclaim(s)")
+        print(f"  {job['id']:24} {job['state']:12} {detail}")
+    for worker in status["workers"]:
+        running = worker.get("running") or "idle"
+        print(f"  worker {worker.get('worker', '?'):16} "
+              f"pid {worker.get('pid')} {running}, "
+              f"{worker.get('jobs_done', 0)} done, "
+              f"seen {worker.get('age', 0.0):.1f}s ago")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -402,6 +470,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-grace", type=float, default=10.0, metavar="S",
         help="seconds a drain waits for SIGTERM'd jobs to checkpoint "
              "before SIGKILLing them (default 10)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="pool mode: spawn N 'repro worker' processes that pull jobs "
+             "from DIR via fenced leases; a killed worker's jobs are "
+             "adopted bit-identically by its peers (default 0 = run jobs "
+             "in service-owned children)")
+    serve_parser.add_argument(
+        "--worker-heartbeat", type=float, default=1.0, metavar="S",
+        help="pool lease heartbeat interval (set once at pool creation)")
+    serve_parser.add_argument(
+        "--worker-misses", type=int, default=3, metavar="N",
+        help="missed heartbeats before a peer may reclaim a lease")
+
+    worker_parser = sub.add_parser(
+        "worker", help="run one shared-pool worker")
+    worker_parser.add_argument(
+        "--pool", required=True, metavar="DIR",
+        help="the pool directory (a 'serve --workers' state dir, or one "
+             "initialised with --init)")
+    worker_parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable identity for leases/heartbeats (default: worker-PID)")
+    worker_parser.add_argument(
+        "--drain", action="store_true",
+        help="exit once every job in the pool is terminal")
+    worker_parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="execute at most N jobs, then exit")
+    worker_parser.add_argument(
+        "--init", action="store_true",
+        help="create the pool directory if it does not exist yet")
+    worker_parser.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="S",
+        help="lease heartbeat interval when creating the pool with --init "
+             "(an existing pool's timing always wins)")
+    worker_parser.add_argument(
+        "--misses", type=int, default=3, metavar="N",
+        help="missed heartbeats before reclaim, when creating with --init")
+
+    pool_parser = sub.add_parser(
+        "pool", help="inspect a shared worker pool")
+    pool_sub = pool_parser.add_subparsers(dest="pool_command", required=True)
+    pool_status_parser = pool_sub.add_parser(
+        "status", help="per-job lease state, worker heartbeats, counts")
+    pool_status_parser.add_argument("pool_dir", metavar="DIR")
+    pool_status_parser.add_argument("--json", action="store_true",
+                                    help="machine-readable status")
     return parser
 
 
@@ -414,6 +529,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "journal": cmd_journal,
     "serve": cmd_serve,
+    "worker": cmd_worker,
+    "pool": cmd_pool,
 }
 
 

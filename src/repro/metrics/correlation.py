@@ -26,5 +26,8 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
         return 0.0
     # sqrt each variance before multiplying: the product var_x * var_y can
     # underflow to 0.0 for tiny (but nonzero) variances, which would divide
-    # by zero here.
-    return cov / (math.sqrt(var_x) * math.sqrt(var_y))
+    # by zero here.  The quotient can still drift marginally outside the
+    # mathematical bound when a variance sits at the denormal edge (the
+    # mean-subtraction cancels catastrophically), so clamp to [-1, 1].
+    r = cov / (math.sqrt(var_x) * math.sqrt(var_y))
+    return max(-1.0, min(1.0, r))

@@ -8,6 +8,12 @@ updates with ``if REGISTRY.enabled:``, and every hook site sits on a
 per-epoch or per-run boundary, never inside the per-access hot loop, so the
 disabled default costs one attribute load per epoch at most.
 
+The worker pool (:mod:`repro.serve.pool`) adds its own family on the same
+boundaries: ``repro_pool_admissions_total``, ``repro_pool_claims_total``
+(labelled ``fresh``/``adopt``), ``repro_pool_jobs_total`` by terminal
+state, and ``repro_pool_reclaims``/``repro_pool_jobs`` gauges refreshed by
+``pool_status``.
+
 Naming convention (see DESIGN.md §9): ``repro_<subsystem>_<what>_<unit>``,
 with ``_total`` for counters, plain nouns for gauges and ``_seconds`` (or
 another unit suffix) for histograms.  Label names are static per metric and

@@ -15,6 +15,9 @@ from repro.resilience.errors import (
     CheckpointError,
     ConfigError,
     FaultInjectedError,
+    LeaseLostError,
+    PoolCorruptError,
+    PoolError,
     ReproError,
     SweepInterrupted,
     TopologyInvariantError,
@@ -47,6 +50,9 @@ __all__ = [
     "CheckpointError",
     "WorkerCrashError",
     "SweepInterrupted",
+    "PoolError",
+    "LeaseLostError",
+    "PoolCorruptError",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultRule",

@@ -22,7 +22,12 @@ distinguish *what class of thing went wrong* without parsing messages:
   per-tenant quota (:class:`QuotaExceededError`), drain
   (:class:`ServiceDrainingError`), an unknown job
   (:class:`JobNotFoundError`), or a job killed by the service watchdog
-  (:class:`JobTimeoutError`).
+  (:class:`JobTimeoutError`);
+- :class:`PoolError` — the shared worker pool (``repro worker``) failed:
+  a worker's lease on a job was reclaimed by a peer while it still held
+  state (:class:`LeaseLostError` — the fencing check that makes zombie
+  writes safe), or the pool directory itself is unusable
+  (:class:`PoolCorruptError`).
 
 Each class that *declares* an ``exit_code`` carries a distinct process exit
 code used by ``python -m repro`` so CI failures are diagnosable from the
@@ -163,12 +168,45 @@ class JobTimeoutError(ServiceError):
     http_status = 504
 
 
+class PoolError(ReproError):
+    """The shared worker pool failed.
+
+    Like :class:`ServiceError`, this is a *family* code: every pool-side
+    failure shares exit code 10 ("the pool layer, not the simulator"),
+    and the subclass is the fine-grained discriminator in logs and
+    ``error.json``.
+    """
+
+    exit_code = 10
+
+
+class LeaseLostError(PoolError):
+    """This worker's lease on a job was reclaimed by a peer.
+
+    Raised by the fencing check that guards every durable journal/status
+    write: a zombie worker (paused, wedged, or partitioned past its lease
+    TTL) discovers on its next write that a peer holds a higher fence and
+    aborts instead of corrupting the adopted job's state.  The job itself
+    is unharmed — the adopter resumed it bit-identically from the fsync'd
+    journal — so the only safe move for the zombie is to die with this
+    distinct code.
+    """
+
+
+class PoolCorruptError(PoolError):
+    """The pool directory is structurally unusable (torn ``pool.json``,
+    foreign layout, or an unwritable claim/heartbeat area)."""
+
+
 __all__ = [
     "CheckpointError",
     "ConfigError",
     "FaultInjectedError",
     "JobNotFoundError",
     "JobTimeoutError",
+    "LeaseLostError",
+    "PoolCorruptError",
+    "PoolError",
     "QuotaExceededError",
     "ReproError",
     "ServiceDrainingError",

@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import pathlib
 import signal
+import subprocess
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -58,15 +59,20 @@ from repro.resilience.errors import (
 )
 from repro.serve.jobs import (
     ERROR_FILE,
+    JOURNAL_FILE,
     Job,
     JobSpec,
     SPEC_FILE,
+    STATUS_FILE,
     job_id,
     job_process_main,
     read_json,
+    read_json_tolerant,
     spec_record,
     write_json_durable,
 )
+from repro.serve.lease import acquire as acquire_lease, read_lease
+from repro.serve.pool import SharedPool
 from repro.serve.queue import FairQueue, TenantQuota
 from repro.serve.recovery import recover_state
 from repro.sim.supervisor import SweepJournal, result_from_json
@@ -111,6 +117,22 @@ class ServiceConfig:
     """Seconds a draining service waits for SIGTERM'd jobs to checkpoint
     and exit before escalating to SIGKILL (journals stay resumable)."""
 
+    workers: int = 0
+    """Horizontal pool mode: spawn this many ``repro worker`` processes
+    against the state dir instead of running jobs in service-owned
+    children.  The state dir doubles as the shared pool, so external
+    workers (other hosts on the same filesystem) can join the same pool
+    and the service keeps serving HTTP/SSE for every job either way."""
+
+    worker_heartbeat: float = 1.0
+    """Pool lease heartbeat interval (only used when creating the pool)."""
+
+    worker_misses: int = 3
+    """Missed heartbeats before a pool lease is reclaimable."""
+
+    worker_restarts: int = 3
+    """Respawns granted to each worker slot before it is left down."""
+
     def __post_init__(self) -> None:
         if not self.state_dir:
             raise ConfigError("state_dir", "required")
@@ -129,6 +151,18 @@ class ServiceConfig:
         if self.poll_interval <= 0:
             raise ConfigError("poll_interval",
                               f"must be > 0, got {self.poll_interval}")
+        if self.workers < 0:
+            raise ConfigError("workers",
+                              f"must be >= 0, got {self.workers}")
+        if self.worker_heartbeat <= 0:
+            raise ConfigError("worker_heartbeat",
+                              f"must be > 0, got {self.worker_heartbeat}")
+        if self.worker_misses < 1:
+            raise ConfigError("worker_misses",
+                              f"must be >= 1, got {self.worker_misses}")
+        if self.worker_restarts < 0:
+            raise ConfigError("worker_restarts",
+                              f"must be >= 0, got {self.worker_restarts}")
 
 
 class _Request:
@@ -368,6 +402,9 @@ class SimulationService:
         self._server: Optional[asyncio.AbstractServer] = None
         self._scheduler_task: Optional[asyncio.Task] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._pool: Optional[SharedPool] = None
+        self._worker_procs: List[Optional[subprocess.Popen]] = []
+        self._worker_respawns: List[int] = []
 
     # -- metrics -------------------------------------------------------------
 
@@ -385,14 +422,27 @@ class SimulationService:
         REGISTRY.gauge("repro_serve_queue_depth",
                        "Jobs currently queued across all tenants"
                        ).set(self.queue.depth)
+        running = (sum(1 for job in self.jobs.values()
+                       if job.state == "running")
+                   if self._pool is not None else len(self._running))
         REGISTRY.gauge("repro_serve_running_jobs",
-                       "Job processes currently executing"
-                       ).set(len(self._running))
+                       "Job processes currently executing").set(running)
+        if self._pool is not None:
+            REGISTRY.gauge(
+                "repro_serve_pool_workers",
+                "Service-owned pool worker processes currently alive"
+                ).set(sum(1 for proc in self._worker_procs
+                          if proc is not None and proc.poll() is None))
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        (self.state_dir / "jobs").mkdir(parents=True, exist_ok=True)
+        if self.config.workers > 0:
+            self._pool = SharedPool.ensure(
+                self.state_dir, heartbeat=self.config.worker_heartbeat,
+                misses=self.config.worker_misses)
+        else:
+            (self.state_dir / "jobs").mkdir(parents=True, exist_ok=True)
         REGISTRY.enable()
         # Register the full metric set up front so /metrics exposes every
         # series name from the first scrape, not only after first use.
@@ -426,6 +476,11 @@ class SimulationService:
         write_json_durable(self.state_dir / SERVE_INFO_FILE,
                            {"host": self.host, "port": self.port,
                             "pid": os.getpid()})
+        if self._pool is not None:
+            self._worker_procs = [None] * self.config.workers
+            self._worker_respawns = [0] * self.config.workers
+            for slot in range(self.config.workers):
+                self._spawn_worker(slot)
         self._scheduler_task = asyncio.get_running_loop().create_task(
             self._scheduler())
         self.state = "ready"
@@ -449,6 +504,18 @@ class SimulationService:
         if self.state in ("draining", "stopped"):
             return
         self.state = "draining"
+        if self._pool is not None:
+            alive = [proc for proc in self._worker_procs
+                     if proc is not None and proc.poll() is None]
+            print(f"draining on {reason}: admissions stopped, "
+                  f"{len(alive)} pool worker(s) signalled",
+                  file=sys.stderr, flush=True)
+            for proc in alive:
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+            return
         print(f"draining on {reason}: admissions stopped, "
               f"{len(self._running)} running job(s) signalled",
               file=sys.stderr, flush=True)
@@ -457,6 +524,15 @@ class SimulationService:
                 job.process.terminate()
 
     async def _shutdown(self) -> None:
+        for proc in self._worker_procs:
+            if proc is None:
+                continue
+            if proc.poll() is None:
+                _kill_job_tree(proc)
+            try:
+                proc.wait(timeout=5.0)
+            except Exception:
+                pass
         if self._scheduler_task is not None:
             self._scheduler_task.cancel()
         for stream in self._streams.values():
@@ -471,13 +547,21 @@ class SimulationService:
     async def _scheduler(self) -> None:
         while True:
             try:
-                if self.state == "ready":
-                    self._launch_ready()
-                self._poll_running()
-                self._update_gauges()
-                if self.state == "draining" and not self._running:
-                    self._stopped.set()
-                    return
+                if self._pool is not None:
+                    self._poll_pool()
+                    self._update_gauges()
+                    if (self.state == "draining"
+                            and self._pool_drained()):
+                        self._stopped.set()
+                        return
+                else:
+                    if self.state == "ready":
+                        self._launch_ready()
+                    self._poll_running()
+                    self._update_gauges()
+                    if self.state == "draining" and not self._running:
+                        self._stopped.set()
+                        return
             except Exception as exc:  # keep the scheduler alive, always
                 print(f"scheduler error: {type(exc).__name__}: {exc}",
                       file=sys.stderr, flush=True)
@@ -528,6 +612,108 @@ class SimulationService:
                 # resumable — _finalize sees a killed child while
                 # draining and records it as interrupted.
                 _kill_job_tree(process)
+
+    # -- pool mode: workers pull, the service observes -----------------------
+
+    def _spawn_worker(self, slot: int) -> None:
+        """Start the slot's ``repro worker`` subprocess.
+
+        Deliberately *not* a new session/process group: tests (and
+        operators) that signal the service's group reach the workers too,
+        and an orphaned worker dies with its parent's group.
+        """
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--pool", str(self.state_dir), "--worker-id", f"svc-{slot}"])
+        self._worker_procs[slot] = proc
+
+    def _respawn_workers(self) -> None:
+        for slot, proc in enumerate(self._worker_procs):
+            if proc is None or proc.poll() is None:
+                continue
+            if self._worker_respawns[slot] >= self.config.worker_restarts:
+                continue  # slot exhausted; peers cover its jobs
+            self._worker_respawns[slot] += 1
+            print(f"pool worker svc-{slot} exited "
+                  f"{proc.returncode}; respawning "
+                  f"({self._worker_respawns[slot]}/"
+                  f"{self.config.worker_restarts})",
+                  file=sys.stderr, flush=True)
+            self._spawn_worker(slot)
+
+    def _poll_pool(self) -> None:
+        """Reconcile the registry with the pool's durable truth.
+
+        Workers own execution; the service's scheduler degenerates to an
+        observer: a ``status.json`` appearing makes a job terminal, a live
+        lease makes it ``running`` (and names the worker in its status
+        body), a lapsed lease returns it to ``queued`` until a peer
+        adopts.  The FairQueue keeps admission caps and queue positions
+        meaningful, so jobs are removed from it exactly when a worker
+        claims them.
+        """
+        for job in list(self.jobs.values()):
+            if job.terminal:
+                continue
+            status = read_json_tolerant(job.job_dir / STATUS_FILE)
+            if status is not None:
+                self.queue.cancel(job.id)  # may still be in the fair queue
+                job.state = str(status.get("state", "done"))
+                job.exit_code = status.get("exit_code")
+                job.error = status.get("error")
+                job.latency = status.get("latency")
+                if isinstance(status.get("completed_runs"), int):
+                    job.completed_runs = status["completed_runs"]
+                if isinstance(status.get("quarantined_runs"), int):
+                    job.quarantined_runs = status["quarantined_runs"]
+                lease_info: Dict[str, Any] = {}
+                if "lease" in status:
+                    lease_info["token"] = status["lease"]
+                if "worker" in status:
+                    lease_info["worker"] = status["worker"]
+                job.lease = lease_info or None
+                self._metric_jobs().labels(status=job.state).inc()
+                continue
+            state = read_lease(job.job_dir)
+            live = (state is not None and not state.released
+                    and not state.expired(self._pool.config.ttl))
+            if live:
+                if job.state != "running":
+                    self.queue.cancel(job.id)
+                    job.state = "running"
+                    self._dispatch_counter += 1
+                    job.started_order = self._dispatch_counter
+                    self._stream_for(job).start()
+                job.lease = state.to_json()
+            elif job.state == "running":
+                # The holder died mid-job; until a peer adopts, the job is
+                # claimable again.  Its journal keeps everything done.
+                job.state = "queued"
+                job.lease = state.to_json() if state is not None else None
+        if self.state == "ready":
+            self._respawn_workers()
+
+    def _pool_drained(self) -> bool:
+        """Draining is done when every worker process has exited."""
+        now = asyncio.get_running_loop().time()
+        if self._drain_started is None:
+            self._drain_started = now
+        alive = [proc for proc in self._worker_procs
+                 if proc is not None and proc.poll() is None]
+        if alive and now >= self._drain_started + self.config.drain_grace:
+            for proc in alive:  # SIGTERM went unanswered: escalate
+                _kill_job_tree(proc)
+            return False
+        if alive:
+            return False
+        for job in self.jobs.values():
+            # Started-but-unfinished work is resumable (exit 8), matching
+            # the process-mode drain; never-started queued jobs keep their
+            # positions and the service exits 0, also matching.
+            if not job.terminal and (job.job_dir / JOURNAL_FILE).exists():
+                job.state = "interrupted"
+                self._drained_interrupted = True
+        return True
 
     def _journal_resumable(self, job: Job) -> bool:
         try:
@@ -622,6 +808,8 @@ class SimulationService:
             raise ServiceDrainingError(
                 f"service is {self.state}; not admitting jobs")
         spec = JobSpec.from_payload(payload)
+        if self._pool is not None:
+            return self._submit_pool(spec)
         seq = self._seq
         job = Job(id=job_id(seq, spec.tenant), seq=seq, spec=spec,
                   job_dir=self.state_dir / "jobs" / job_id(seq, spec.tenant))
@@ -643,6 +831,30 @@ class SimulationService:
             raise ServiceError(
                 f"cannot persist job {job.id}: {exc}") from exc
         self.jobs[job.id] = job
+        REGISTRY.counter("repro_serve_submissions_total",
+                         "Jobs admitted into the queue").inc()
+        return job
+
+    def _submit_pool(self, spec: JobSpec) -> Job:
+        """Pool-mode admission: same caps, durable publish via the pool.
+
+        The admission caps are checked against this service's view first
+        (so sheds stay cheap and typed), then the pool's atomic
+        staging+rename publishes the job — a worker may legitimately claim
+        it before this method returns.
+        """
+        try:
+            self.queue.admission_check(spec.tenant)
+        except ServiceSaturatedError:
+            self._metric_shed().labels(reason="saturated").inc()
+            raise
+        except ServiceError:
+            self._metric_shed().labels(reason="quota").inc()
+            raise
+        job = self._pool.admit(spec)
+        self.queue.restore(job)  # caps already checked; keep its position
+        self.jobs[job.id] = job
+        self._seq = max(self._seq, job.seq + 1)
         REGISTRY.counter("repro_serve_submissions_total",
                          "Jobs admitted into the queue").inc()
         return job
@@ -787,6 +999,8 @@ class SimulationService:
                                                     f"{request.path}"}})
 
     def _cancel(self, job: Job) -> bytes:
+        if self._pool is not None:
+            return self._cancel_pool(job)
         if job.state == "queued" and self.queue.cancel(job.id) is not None:
             job.state = "cancelled"
             job.write_status()
@@ -797,6 +1011,37 @@ class SimulationService:
                 409, {"error": {"type": "ServiceError",
                                 "message": "job is running; wait for it or "
                                            "drain the service"}})
+        return _json_response(200, job.status_payload())
+
+    def _cancel_pool(self, job: Job) -> bytes:
+        """Cancel in pool mode: win the job's lease, then it cannot run.
+
+        A cancelled pool job gets a fenced terminal ``status.json`` like
+        any other outcome, so every worker's claim scan skips it for the
+        same reason it skips completed jobs.  If the lease is held by a
+        live worker the cancel is a 409, exactly like a running
+        process-mode job.
+        """
+        if job.terminal:
+            return _json_response(200, job.status_payload())
+        handle = acquire_lease(job.job_dir, "service",
+                               self._pool.config.ttl)
+        if handle is None:
+            return _json_response(
+                409, {"error": {"type": "ServiceError",
+                                "message": "job is leased by a worker; wait "
+                                           "for it or drain the service"}})
+        if read_json_tolerant(job.job_dir / STATUS_FILE) is not None:
+            handle.release()  # finished in the claim window; report as-is
+            return _json_response(200, job.status_payload())
+        job.state = "cancelled"
+        payload = job.status_payload()
+        payload["lease"] = handle.token
+        payload["worker"] = "service"
+        write_json_durable(job.job_dir / STATUS_FILE, payload)
+        handle.release()
+        self.queue.cancel(job.id)
+        self._metric_jobs().labels(status="cancelled").inc()
         return _json_response(200, job.status_payload())
 
     async def _serve_events(self, job: Job,

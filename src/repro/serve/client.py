@@ -4,6 +4,13 @@
 by the chaos/e2e tests, ``examples/service_tour.py`` and anyone scripting
 against a local service.  Each call opens one connection (the server is
 ``Connection: close``), so a client object is just an address.
+
+Retries are opt-in (:class:`RetryPolicy`): bounded exponential backoff
+with *deterministic* jitter (seeded splitmix, not ``random``), applied to
+429 sheds — honouring ``Retry-After`` when the server sends one — and to
+connection resets on idempotent methods only.  A reset ``POST /jobs`` is
+never retried: the job may or may not have been admitted, and blind
+resubmission would duplicate it.
 """
 
 from __future__ import annotations
@@ -11,44 +18,138 @@ from __future__ import annotations
 import http.client
 import json
 import pathlib
+import socket
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.parallel import derive_seed
+
+#: Methods whose retry is always safe: repeating them cannot change state
+#: twice (DELETE converges: cancelling a cancelled job is a no-op/404).
+_IDEMPOTENT = ("GET", "DELETE")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry schedule for :class:`ServiceClient`.
+
+    Deterministic jitter: attempt *i*'s delay is
+    ``base * 2**i * (0.5 + frac(seed, i))`` capped at ``cap``, where
+    ``frac`` comes from :func:`~repro.sim.parallel.derive_seed` — the same
+    splitmix chain the simulator uses — so two runs of the same test
+    produce the same schedule, while distinct seeds decorrelate clients
+    (the thundering-herd fix jitter exists for).
+    """
+
+    retries: int = 3
+    """Extra attempts after the first (0 disables retrying)."""
+
+    base: float = 0.05
+    """First backoff delay, seconds."""
+
+    cap: float = 2.0
+    """Upper bound on any single delay, ``Retry-After`` included."""
+
+    seed: int = 0
+    """Decorrelates concurrent clients; same seed, same schedule."""
+
+    def delay(self, attempt: int,
+              retry_after: Optional[float] = None) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based).
+
+        A server-sent ``Retry-After`` wins over the computed backoff —
+        the server knows its backlog better than our exponent does — but
+        is still capped, because tests (and impatient humans) should
+        never sleep unboundedly on a hostile header.
+        """
+        if retry_after is not None and retry_after >= 0:
+            return min(float(retry_after), self.cap)
+        frac = derive_seed(self.seed, attempt) / float(2 ** 31)
+        return min(self.base * (2 ** attempt) * (0.5 + frac), self.cap)
 
 
 class ServiceHTTPError(RuntimeError):
     """A non-2xx response, with the server's typed error body attached."""
 
-    def __init__(self, status: int, payload: Any) -> None:
+    def __init__(self, status: int, payload: Any,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         error = (payload or {}).get("error", {}) if isinstance(payload, dict) \
             else {}
         message = error.get("message", f"HTTP {status}")
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
+        self.headers = headers or {}
         self.error_type = error.get("type")
         self.exit_code = error.get("exit_code")
+
+
+def _retry_after(exc: ServiceHTTPError) -> Optional[float]:
+    """The response's ``Retry-After`` seconds, or ``None``.
+
+    Only the delta-seconds form is parsed (the HTTP-date form is overkill
+    for a localhost service); anything unparseable is ignored rather than
+    trusted.
+    """
+    for name, value in exc.headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return None
+    return None
 
 
 class ServiceClient:
     """Talk to one ``repro serve`` instance."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        """Retry schedule, or ``None`` (the default) for fail-fast — the
+        shed tests assert on first-response 429s, so retrying is opt-in."""
 
     @classmethod
-    def from_state_dir(cls, state_dir, timeout: float = 30.0
+    def from_state_dir(cls, state_dir, timeout: float = 30.0,
+                       retry: Optional[RetryPolicy] = None
                        ) -> "ServiceClient":
         """Discover the address from the state dir's ``serve.json``."""
         info = json.loads(
             (pathlib.Path(state_dir) / "serve.json").read_text())
-        return cls(info["host"], info["port"], timeout=timeout)
+        return cls(info["host"], info["port"], timeout=timeout, retry=retry)
 
     # -- plumbing ------------------------------------------------------------
 
     def _request(self, method: str, path: str, body: Any = None,
                  ok: Tuple[int, ...] = (200, 201)) -> Any:
+        retry = self.retry or RetryPolicy(retries=0)
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, ok)
+            except ServiceHTTPError as exc:
+                # 429 is the server saying "later" — retryable for every
+                # method, because the request was *rejected*, not half-done.
+                if exc.status != 429 or attempt >= retry.retries:
+                    raise
+                delay = retry.delay(attempt, _retry_after(exc))
+            except (ConnectionError, socket.timeout, http.client.HTTPException,
+                    OSError):
+                # The connection died with the outcome unknown: only
+                # idempotent methods are safe to repeat (a lost POST /jobs
+                # may have been admitted; resubmitting would duplicate it).
+                if method not in _IDEMPOTENT or attempt >= retry.retries:
+                    raise
+                delay = retry.delay(attempt)
+            time.sleep(delay)
+            attempt += 1
+
+    def _request_once(self, method: str, path: str, body: Any,
+                      ok: Tuple[int, ...]) -> Any:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -63,7 +164,8 @@ class ServiceClient:
             except ValueError:
                 parsed = raw.decode("utf-8", "replace")
             if response.status not in ok:
-                raise ServiceHTTPError(response.status, parsed)
+                raise ServiceHTTPError(response.status, parsed,
+                                       headers=dict(response.getheaders()))
             return parsed
         finally:
             conn.close()
@@ -173,4 +275,4 @@ class ServiceClient:
             conn.close()
 
 
-__all__ = ["ServiceClient", "ServiceHTTPError"]
+__all__ = ["RetryPolicy", "ServiceClient", "ServiceHTTPError"]

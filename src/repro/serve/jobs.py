@@ -92,6 +92,25 @@ def read_json(path) -> Dict[str, Any]:
         return json.load(fh)
 
 
+def read_json_tolerant(path) -> Optional[Dict[str, Any]]:
+    """A dict from ``path``, or ``None`` for anything else.
+
+    "Anything else" covers every way a status/spec read can go wrong at
+    recovery time — missing file, unreadable file, truncated or
+    half-written JSON, or a well-formed JSON value that is not an object
+    (``null``, a list, a bare string).  Torn files *should* be impossible
+    under :func:`write_json_durable`'s atomic rename, but recovery reads
+    state dirs it did not write (hand-edited, foreign tooling, partial
+    copies), so it never trusts that.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """A validated sweep submission.  Construct via :meth:`from_payload`."""
@@ -268,6 +287,10 @@ class Job:
     latency: Optional[Dict[str, float]] = None
     completed_runs: int = 0
     quarantined_runs: int = 0
+    lease: Optional[Dict[str, Any]] = None
+    """The pool lease view of this job (owner/fence/ages), when it runs
+    under ``repro worker`` rather than a service-spawned child."""
+
     process: Any = field(default=None, repr=False)
 
     @property
@@ -298,6 +321,8 @@ class Job:
             out["error"] = self.error
         if self.latency is not None:
             out["latency"] = self.latency
+        if self.lease is not None:
+            out["lease"] = self.lease
         return out
 
     def write_status(self) -> None:
@@ -361,6 +386,7 @@ __all__ = [
     "job_process_main",
     "known_schemes",
     "read_json",
+    "read_json_tolerant",
     "spec_record",
     "write_json_durable",
 ]

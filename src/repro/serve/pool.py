@@ -1,0 +1,553 @@
+"""The shared worker pool: a filesystem-backed durable queue that any
+number of ``repro worker`` processes drain cooperatively.
+
+Where :mod:`repro.serve.app` runs jobs in children *it* spawns, the pool
+inverts control: jobs are admitted into a shared directory, and workers —
+started by the service (``repro serve --workers N``), by hand, or on
+different machines sharing a filesystem — *pull* work by claiming leases
+(:mod:`repro.serve.lease`).  The layout::
+
+    <pool_dir>/
+        pool.json             # heartbeat cadence + allowed misses (the TTL)
+        jobs/<job_id>/        # the standard job-dir contract (jobs.py)
+            spec.json         #   ... plus lease/ (lease.py)
+        staging/              # admission scratch: jobs appear atomically
+        workers/<id>.json     # per-worker liveness heartbeats
+
+Three properties carry the design:
+
+- **Atomic admission.**  A job is staged (``spec.json`` fsync'd in
+  ``staging/``) and then ``os.rename``\\ d into ``jobs/`` — a scanning
+  worker sees either no job or a complete one, never a half-admitted dir.
+  Sequence numbers are reserved with ``O_EXCL`` markers so concurrent
+  admitters cannot mint duplicate ``seq`` values.
+- **Lease-fenced execution.**  A worker claims a job by winning the next
+  fence (:func:`repro.serve.lease.acquire`), heartbeats it from a daemon
+  thread, and stamps the fencing token into every journal record and the
+  final ``status.json``.  After ``misses`` missed heartbeats any peer may
+  claim the next fence and *adopt* the job.
+- **Bit-identical adoption.**  The adopter resumes from the fsync'd
+  journal exactly like a service restart would
+  (:func:`~repro.serve.recovery.recover_job_dir` classifies, the
+  supervisor reruns only the missing runs), so a job that bounced between
+  workers produces byte-identical per-epoch results to one that never
+  crashed.  DESIGN.md §11 carries the full argument.
+
+Every read of foreign state (status files, worker heartbeats, claim
+records) is tolerant — a torn file is treated as absent, never a crash —
+because the whole point of the pool is that peers die at arbitrary
+instants.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import REGISTRY
+from repro.resilience.errors import (
+    LeaseLostError,
+    PoolCorruptError,
+    PoolError,
+    ReproError,
+    SweepInterrupted,
+)
+from repro.serve.jobs import (
+    ERROR_FILE,
+    JOURNAL_FILE,
+    Job,
+    JobSpec,
+    SPEC_FILE,
+    STATUS_FILE,
+    job_id,
+    read_json_tolerant,
+    spec_record,
+    write_json_durable,
+)
+from repro.serve.lease import LeaseHandle, acquire, read_lease
+from repro.serve.recovery import recover_job_dir
+
+#: The pool's durable configuration file (written once at creation).
+POOL_FILE = "pool.json"
+POOL_VERSION = 1
+
+JOBS_DIR = "jobs"
+STAGING_DIR = "staging"
+WORKERS_DIR = "workers"
+
+_SEQ_PREFIX = ".seq-"
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """The pool's shared timing contract — identical for every worker,
+    because lease expiry must mean the same thing to all of them."""
+
+    heartbeat: float = 1.0
+    """Seconds between lease renewals by a live holder."""
+
+    misses: int = 3
+    """Missed heartbeats before a lease is reclaimable."""
+
+    @property
+    def ttl(self) -> float:
+        """Heartbeat age past which a lease is dead (``heartbeat×misses``)."""
+        return self.heartbeat * self.misses
+
+    def __post_init__(self) -> None:
+        if not (self.heartbeat > 0):
+            raise PoolCorruptError(
+                f"pool heartbeat must be > 0, got {self.heartbeat!r}")
+        if self.misses < 1:
+            raise PoolCorruptError(
+                f"pool misses must be >= 1, got {self.misses!r}")
+
+
+class SharedPool:
+    """One pool directory: admission, claiming, and status introspection."""
+
+    def __init__(self, root, config: PoolConfig) -> None:
+        self.root = pathlib.Path(root)
+        self.config = config
+
+    @property
+    def jobs_root(self) -> pathlib.Path:
+        return self.root / JOBS_DIR
+
+    # -- creation ------------------------------------------------------------
+
+    @classmethod
+    def ensure(cls, root, heartbeat: float = 1.0,
+               misses: int = 3) -> "SharedPool":
+        """Open the pool at ``root``, creating it if needed.
+
+        An existing ``pool.json`` always wins — the timing contract is set
+        once, by whoever created the pool, and later workers inherit it no
+        matter what flags they were started with (mixed TTLs would make
+        "expired" worker-dependent, which is exactly the split-brain the
+        lease protocol exists to prevent).
+        """
+        root = pathlib.Path(root)
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            for sub in (JOBS_DIR, STAGING_DIR, WORKERS_DIR):
+                (root / sub).mkdir(exist_ok=True)
+        except OSError as exc:
+            raise PoolCorruptError(
+                f"cannot create pool directory {root}: {exc}") from exc
+        pool_file = root / POOL_FILE
+        if pool_file.exists():
+            return cls(root, _load_config(pool_file))
+        config = PoolConfig(heartbeat=float(heartbeat), misses=int(misses))
+        write_json_durable(pool_file, {
+            "version": POOL_VERSION, "heartbeat": config.heartbeat,
+            "misses": config.misses})
+        # A racing ensure() may have replaced the file between our exists()
+        # check and the write; re-read so every opener agrees.
+        return cls(root, _load_config(pool_file))
+
+    @classmethod
+    def open(cls, root) -> "SharedPool":
+        """Open an existing pool; :class:`PoolCorruptError` if absent."""
+        root = pathlib.Path(root)
+        pool_file = root / POOL_FILE
+        if not pool_file.exists():
+            raise PoolCorruptError(
+                f"{root} is not a pool directory (no {POOL_FILE}); "
+                "create one with 'repro serve --workers' or SharedPool.ensure")
+        return cls(root, _load_config(pool_file))
+
+    # -- admission -----------------------------------------------------------
+
+    def _scan_seq(self) -> int:
+        best = 0
+        for parent, prefix in ((self.jobs_root, ""),
+                               (self.root / STAGING_DIR, _SEQ_PREFIX)):
+            try:
+                names = os.listdir(parent)
+            except OSError:
+                continue
+            for name in names:
+                if prefix and not name.startswith(prefix):
+                    continue
+                head = name[len(prefix):].split("-", 1)[0]
+                try:
+                    best = max(best, int(head))
+                except ValueError:
+                    continue
+        return best
+
+    def admit(self, spec: JobSpec) -> Job:
+        """Durably admit a job; it is claimable the instant this returns.
+
+        The sequence number is reserved with an ``O_EXCL`` marker in
+        ``staging/`` (so concurrent admitters — the service plus a CLI
+        submit, say — never mint the same ``seq``), the job dir is staged
+        with its fsync'd ``spec.json``, and one ``os.rename`` publishes
+        it.  A crash mid-admission leaves either a stale staging entry
+        (burning one seq number, harmless) or the complete job.
+        """
+        staging = self.root / STAGING_DIR
+        while True:
+            seq = self._scan_seq() + 1
+            marker = staging / f"{_SEQ_PREFIX}{seq:06d}"
+            try:
+                os.close(os.open(str(marker),
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # a peer reserved this seq; rescan
+            except OSError as exc:
+                raise PoolCorruptError(
+                    f"cannot reserve admission seq in {staging}: {exc}"
+                    ) from exc
+            jid = job_id(seq, spec.tenant)
+            job = Job(id=jid, seq=seq, spec=spec,
+                      job_dir=self.jobs_root / jid)
+            stage = staging / f"{jid}.stage-{os.getpid()}"
+            try:
+                stage.mkdir()
+                write_json_durable(stage / SPEC_FILE, spec_record(job))
+                os.rename(stage, job.job_dir)
+            except OSError as exc:
+                shutil.rmtree(stage, ignore_errors=True)
+                raise PoolCorruptError(
+                    f"cannot admit job {jid} into {self.jobs_root}: {exc}"
+                    ) from exc
+            finally:
+                try:
+                    os.unlink(marker)
+                except OSError:
+                    pass
+            _fsync_dir(self.jobs_root)
+            if REGISTRY.enabled:
+                REGISTRY.counter(
+                    "repro_pool_admissions_total",
+                    "Jobs admitted into the shared pool",
+                    labels=("tenant",)).labels(tenant=spec.tenant).inc()
+            return job
+
+    # -- claiming ------------------------------------------------------------
+
+    def job_dirs(self) -> List[pathlib.Path]:
+        """Job directories in admission (``seq``) order."""
+        try:
+            names = sorted(os.listdir(self.jobs_root))
+        except OSError:
+            return []
+        return [self.jobs_root / name for name in names
+                if (self.jobs_root / name).is_dir()]
+
+    def claim_next(self, owner: str) -> Optional[
+            Tuple[Job, LeaseHandle, bool]]:
+        """Claim the lowest-seq claimable job for ``owner``.
+
+        Returns ``(job, lease handle, resume?)`` or ``None`` when nothing
+        is claimable right now.  A job is claimable when it is not
+        terminal and its lease (if any) is released or expired; ``resume``
+        is True when a valid journal exists, i.e. this claim *adopts* a
+        peer's interrupted work.
+        """
+        for job_dir in self.job_dirs():
+            if read_json_tolerant(job_dir / STATUS_FILE) is not None:
+                continue  # terminal
+            state = read_lease(job_dir)
+            if (state is not None and not state.released
+                    and not state.expired(self.config.ttl)):
+                continue  # live holder
+            entry = recover_job_dir(job_dir)
+            if entry is None or entry.phase == "terminal":
+                continue  # torn spec (not ours to guess at) or lost race
+            handle = acquire(job_dir, owner, self.config.ttl)
+            if handle is None:
+                continue  # lost the fence CAS to a peer
+            if read_json_tolerant(job_dir / STATUS_FILE) is not None:
+                # Completed (or cancelled) between our scan and the claim.
+                handle.release()
+                continue
+            resume = entry.phase == "interrupted"
+            if REGISTRY.enabled:
+                REGISTRY.counter(
+                    "repro_pool_claims_total",
+                    "Job leases claimed, fresh or adopted from a dead peer",
+                    labels=("worker", "kind")).labels(
+                        worker=owner,
+                        kind="adopt" if handle.fence > 1 else "fresh").inc()
+            return entry.job, handle, resume
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    def all_terminal(self) -> bool:
+        """Every admitted job has a durable ``status.json``."""
+        return all(read_json_tolerant(d / STATUS_FILE) is not None
+                   for d in self.job_dirs())
+
+    def write_worker_heartbeat(self, worker_id: str, jobs_done: int,
+                               running: Optional[str]) -> None:
+        write_json_durable(self.root / WORKERS_DIR / f"{worker_id}.json", {
+            "worker": worker_id, "pid": os.getpid(),
+            "updated_at": time.time(), "jobs_done": jobs_done,
+            "running": running})
+
+
+def _load_config(pool_file: pathlib.Path) -> PoolConfig:
+    payload = read_json_tolerant(pool_file)
+    if payload is None:
+        raise PoolCorruptError(
+            f"pool file {pool_file} is torn or not a JSON object")
+    if payload.get("version") != POOL_VERSION:
+        raise PoolCorruptError(
+            f"pool file {pool_file} has version {payload.get('version')!r}, "
+            f"this build speaks version {POOL_VERSION}")
+    try:
+        return PoolConfig(heartbeat=float(payload["heartbeat"]),
+                          misses=int(payload["misses"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PoolCorruptError(
+            f"pool file {pool_file} is missing or mistypes its timing "
+            f"fields: {exc}") from exc
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    try:
+        dir_fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+# -- execution ---------------------------------------------------------------
+
+def execute_claim(pool: SharedPool, job: Job, handle: LeaseHandle,
+                  worker_id: str, resume: bool,
+                  jobs_done: int = 0) -> Job:
+    """Run one claimed job to a terminal state, fenced end to end.
+
+    The lease is renewed from a daemon thread every ``heartbeat`` seconds;
+    every journal write carries the fencing token and re-checks the fence
+    first (``journal_guard``), and the final ``status.json`` is written
+    only after a last fence check.  Outcomes:
+
+    - completes (``done``/``partial``/typed failure) — fenced status
+      written, lease released, the updated :class:`Job` returned;
+    - :class:`SweepInterrupted` (SIGTERM drain) — lease released so a peer
+      can adopt immediately, then re-raised;
+    - :class:`LeaseLostError` — this worker became the zombie: nothing
+      further is written, the error propagates (exit code 10).
+    """
+    job_dir = job.job_dir
+    spec = job.spec
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(pool.config.heartbeat):
+            try:
+                handle.renew()
+            except PoolError:
+                return  # the next journal write will raise LeaseLostError
+            try:
+                pool.write_worker_heartbeat(worker_id, jobs_done, job.id)
+            except OSError:
+                pass
+
+    beater = threading.Thread(target=beat, daemon=True,
+                              name=f"lease-heartbeat-{job.id}")
+    beater.start()
+    from repro.sim.supervisor import SweepPolicy, run_supervised
+    try:
+        report = run_supervised(
+            spec.to_runspecs(job_dir), jobs=spec.jobs,
+            policy=SweepPolicy(run_timeout=spec.run_timeout,
+                               retries=spec.retries),
+            journal=job_dir / JOURNAL_FILE, resume=resume,
+            journal_extra={"lease": handle.token, "worker": worker_id},
+            journal_guard=handle.check)
+    except SweepInterrupted:
+        _stop_beat(stop, beater)
+        handle.release()  # everything durable is journaled; peers may adopt
+        raise
+    except LeaseLostError:
+        _stop_beat(stop, beater)
+        raise
+    except ReproError as exc:
+        _stop_beat(stop, beater)
+        handle.check()
+        write_json_durable(job_dir / ERROR_FILE, {
+            "type": type(exc).__name__, "message": str(exc)})
+        job.state = "failed"
+        job.exit_code = exc.exit_code
+        job.error = {"type": type(exc).__name__, "message": str(exc)}
+        _finalize(pool, job, handle, worker_id)
+        return job
+    _stop_beat(stop, beater)
+    job.state = "done" if report.ok else "partial"
+    job.exit_code = 0 if report.ok else 1
+    job.completed_runs = len(report.succeeded)
+    job.quarantined_runs = len(report.quarantined)
+    job.latency = report.latency()
+    _finalize(pool, job, handle, worker_id)
+    return job
+
+
+def _finalize(pool: SharedPool, job: Job, handle: LeaseHandle,
+              worker_id: str) -> None:
+    """Fence-checked terminal status write, then release.
+
+    The check→write window is not atomic; the residual race is benign for
+    the same reason journal duplicates are: both possible writers derive
+    the status from the same deterministic journal, so the late write is
+    equivalent in everything but the ``worker``/``lease`` provenance
+    fields (and a reclaim implies the first writer was about to die).
+    """
+    handle.check()
+    payload = job.status_payload()
+    payload["lease"] = handle.token
+    payload["worker"] = worker_id
+    write_json_durable(job.job_dir / STATUS_FILE, payload)
+    handle.release()
+    if REGISTRY.enabled:
+        REGISTRY.counter(
+            "repro_pool_jobs_total",
+            "Jobs driven to a terminal state by pool workers",
+            labels=("worker", "state")).labels(
+                worker=worker_id, state=job.state).inc()
+
+
+def _stop_beat(stop: threading.Event, beater: threading.Thread) -> None:
+    stop.set()
+    beater.join(timeout=5.0)
+
+
+def run_worker(pool_dir, worker_id: str, drain: bool = False,
+               poll_interval: float = 0.2,
+               max_jobs: Optional[int] = None) -> int:
+    """The ``repro worker`` main loop: claim, execute, repeat.
+
+    With ``drain=True`` the worker exits once every admitted job is
+    terminal (waiting out live peers' leases — their jobs become either
+    terminal or adoptable); otherwise it polls forever.  ``max_jobs``
+    bounds the number of jobs this worker executes (mostly for tests).
+    Returns the number of jobs this worker drove to a terminal state.
+
+    SIGTERM during a sweep drains it (journal flushed, lease released)
+    and raises :class:`SweepInterrupted` — exit code 8, same as the
+    supervisor.  A lost lease raises :class:`LeaseLostError` — exit 10.
+    """
+    pool = SharedPool.open(pool_dir)
+    done = 0
+    while True:
+        claim = pool.claim_next(worker_id)
+        if claim is None:
+            try:
+                pool.write_worker_heartbeat(worker_id, done, None)
+            except OSError:
+                pass
+            if max_jobs is not None and done >= max_jobs:
+                return done
+            if drain and pool.all_terminal():
+                return done
+            time.sleep(poll_interval)
+            continue
+        job, handle, resume = claim
+        execute_claim(pool, job, handle, worker_id, resume, jobs_done=done)
+        done += 1
+        try:
+            pool.write_worker_heartbeat(worker_id, done, None)
+        except OSError:
+            pass
+        if max_jobs is not None and done >= max_jobs:
+            return done
+
+
+# -- status ------------------------------------------------------------------
+
+def pool_status(pool_dir) -> Dict[str, Any]:
+    """The ``repro pool status`` body: config, jobs with their leases,
+    worker heartbeats, and aggregate counts."""
+    pool = SharedPool.open(pool_dir)
+    now = time.time()
+    jobs: List[Dict[str, Any]] = []
+    counts: Dict[str, int] = {}
+    reclaims = 0
+    for job_dir in pool.job_dirs():
+        record = read_json_tolerant(job_dir / SPEC_FILE)
+        if record is None:
+            continue
+        status = read_json_tolerant(job_dir / STATUS_FILE)
+        lease_state = read_lease(job_dir)
+        lease_live = (lease_state is not None and not lease_state.released
+                      and not lease_state.expired(pool.config.ttl, now))
+        if status is not None:
+            state = str(status.get("state", "done"))
+        elif lease_live:
+            state = "running"
+        elif (job_dir / JOURNAL_FILE).exists():
+            state = "interrupted"
+        else:
+            state = "queued"
+        entry: Dict[str, Any] = {
+            "id": str(record.get("id", job_dir.name)),
+            "seq": record.get("seq"),
+            "tenant": (record.get("spec") or {}).get("tenant"),
+            "state": state,
+            "lease": lease_state.to_json() if lease_state else None,
+        }
+        if status is not None and "worker" in status:
+            entry["worker"] = status["worker"]
+        elif lease_live:
+            entry["worker"] = lease_state.owner
+        if lease_state is not None:
+            reclaims += lease_state.reclaims
+        counts[state] = counts.get(state, 0) + 1
+        jobs.append(entry)
+    workers = []
+    workers_dir = pool.root / WORKERS_DIR
+    try:
+        names = sorted(os.listdir(workers_dir))
+    except OSError:
+        names = []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        payload = read_json_tolerant(workers_dir / name)
+        if payload is None:
+            continue
+        age = now - float(payload.get("updated_at", now))
+        payload["age"] = max(0.0, age)
+        workers.append(payload)
+    if REGISTRY.enabled:
+        REGISTRY.gauge(
+            "repro_pool_reclaims",
+            "Total lease reclaims recorded across the pool's jobs"
+            ).set(float(reclaims))
+        for state, count in counts.items():
+            REGISTRY.gauge(
+                "repro_pool_jobs", "Pool jobs by state",
+                labels=("state",)).labels(state=state).set(float(count))
+    return {
+        "pool": str(pool.root),
+        "config": {"heartbeat": pool.config.heartbeat,
+                   "misses": pool.config.misses, "ttl": pool.config.ttl},
+        "counts": counts,
+        "reclaims": reclaims,
+        "jobs": jobs,
+        "workers": workers,
+    }
+
+
+__all__ = [
+    "POOL_FILE",
+    "PoolConfig",
+    "SharedPool",
+    "execute_claim",
+    "pool_status",
+    "run_worker",
+]

@@ -126,18 +126,28 @@ class FairQueue:
 
     # -- admission -----------------------------------------------------------
 
-    def submit(self, job: Any) -> None:
-        """Admit a job, or shed it with a typed error (nothing stored)."""
+    def admission_check(self, tenant: str) -> None:
+        """Raise the typed shed error a submission from ``tenant`` would
+        get, without enqueueing anything.
+
+        Split out of :meth:`submit` so callers that persist jobs somewhere
+        *else* (the shared worker pool admits to its own directory, not to
+        this queue) can still apply the same caps before writing anything.
+        """
         if self.depth >= self.max_queued:
             raise ServiceSaturatedError(
                 f"queue full ({self.depth}/{self.max_queued} jobs queued); "
                 "retry after the backlog drains")
-        quota = self.quota(job.tenant)
-        if self.tenant_depth(job.tenant) >= quota.max_queued:
+        quota = self.quota(tenant)
+        if self.tenant_depth(tenant) >= quota.max_queued:
             raise QuotaExceededError(
-                f"tenant {job.tenant!r} already has "
-                f"{self.tenant_depth(job.tenant)} queued job(s) "
+                f"tenant {tenant!r} already has "
+                f"{self.tenant_depth(tenant)} queued job(s) "
                 f"(quota {quota.max_queued})")
+
+    def submit(self, job: Any) -> None:
+        """Admit a job, or shed it with a typed error (nothing stored)."""
+        self.admission_check(job.tenant)
         self._enqueue(job)
 
     def restore(self, job: Any) -> None:

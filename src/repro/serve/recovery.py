@@ -35,6 +35,7 @@ from repro.serve.jobs import (
     SPEC_FILE,
     STATUS_FILE,
     read_json,
+    read_json_tolerant,
 )
 from repro.sim.supervisor import JournalSummary, inspect_journal
 
@@ -75,6 +76,13 @@ class RecoveryReport:
         return [r for r in self.jobs if r.phase == "terminal"]
 
 
+def _as_int(value: Any, default: int) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
 def recover_job_dir(job_dir: pathlib.Path) -> Optional[RecoveredJob]:
     """Classify one job directory; ``None`` when it is not a valid job."""
     try:
@@ -87,23 +95,32 @@ def recover_job_dir(job_dir: pathlib.Path) -> Optional[RecoveredJob]:
 
     status_path = job_dir / STATUS_FILE
     if status_path.exists():
-        try:
-            status = read_json(status_path)
-        except ValueError:
-            status = None
+        status = read_json_tolerant(status_path)
         if status is not None:
             job.state = str(status.get("state", "done"))
             job.exit_code = status.get("exit_code")
             job.error = status.get("error")
             job.latency = status.get("latency")
-            job.restarts = int(status.get("restarts", 0))
+            job.restarts = _as_int(status.get("restarts"), 0)
             job.started_order = status.get("started_order")
-            job.completed_runs = int(status.get("completed_runs", 0))
-            job.quarantined_runs = int(status.get("quarantined_runs", 0))
+            job.completed_runs = _as_int(status.get("completed_runs"), 0)
+            job.quarantined_runs = _as_int(status.get("quarantined_runs"), 0)
+            lease = status.get("lease")
+            if isinstance(lease, str):
+                # Pool workers stamp the raw fencing token plus a
+                # separate "worker" field; normalise to the dict shape
+                # the service keeps in memory.
+                job.lease = {"token": lease, "worker": status.get("worker")}
+            elif isinstance(lease, dict):
+                job.lease = lease
+            else:
+                job.lease = None
             return RecoveredJob(job=job, phase="terminal", status=status)
-        # A torn status.json cannot happen under write_json_durable's
-        # atomic rename; treat a hand-damaged one as "not terminal" and
-        # fall through to the journal.
+        # A truncated, half-written, or non-object status.json means the
+        # completion write never became durable (or the file was damaged
+        # by hand): the job is *not* terminal.  Fall through to the
+        # journal and classify it interrupted/queued — never surface the
+        # parse failure as a crash.
 
     journal_path = job_dir / JOURNAL_FILE
     if journal_path.exists():

@@ -297,23 +297,37 @@ class SweepJournal:
     is written with one buffered write, then flushed and ``fsync``'d, so a
     record is either fully on disk or (if the process dies mid-write) a
     truncated final line that :meth:`load_completed` skips.
+
+    **Fencing.**  When the sweep runs under a worker-pool lease
+    (:mod:`repro.serve.lease`), ``extra`` stamps the lease token onto every
+    record and ``guard`` is invoked before each durable write — it raises
+    :class:`~repro.resilience.errors.LeaseLostError` when a peer has
+    reclaimed the job, so a zombie holder aborts instead of appending
+    stale state.  Loaders ignore both fields, which keeps pool journals
+    byte-compatible with single-worker ones (extra keys on otherwise
+    identical records).
     """
 
-    def __init__(self, path, handle) -> None:
+    def __init__(self, path, handle, extra: Optional[Dict[str, Any]] = None,
+                 guard: Optional[Callable[[], None]] = None) -> None:
         self.path = pathlib.Path(path)
         self._handle = handle
+        self._extra = dict(extra) if extra else None
+        self._guard = guard
 
     # -- creation / loading -------------------------------------------------
 
     @classmethod
-    def create(cls, path, keys: Sequence[str]) -> "SweepJournal":
+    def create(cls, path, keys: Sequence[str],
+               extra: Optional[Dict[str, Any]] = None,
+               guard: Optional[Callable[[], None]] = None) -> "SweepJournal":
         """Start a fresh journal (truncating any previous file)."""
         path = pathlib.Path(path)
         try:
             handle = open(path, "w", encoding="utf-8")
         except OSError as exc:
             raise CheckpointError(f"cannot open sweep journal {path}: {exc}") from exc
-        journal = cls(path, handle)
+        journal = cls(path, handle, extra=extra, guard=guard)
         journal._write({"kind": "header", "version": JOURNAL_VERSION,
                         "runs": len(keys), "keys": list(keys)})
         return journal
@@ -374,14 +388,21 @@ class SweepJournal:
         return records
 
     @classmethod
-    def reopen(cls, path, completed: int) -> "SweepJournal":
-        """Open an existing (validated) journal for appending."""
+    def reopen(cls, path, completed: int,
+               extra: Optional[Dict[str, Any]] = None,
+               guard: Optional[Callable[[], None]] = None) -> "SweepJournal":
+        """Open an existing (validated) journal for appending.
+
+        The ``resume`` marker goes through the fencing ``guard`` like any
+        other record, so a resume (or adoption) that lost its lease while
+        loading the journal is rejected before it writes anything.
+        """
         path = pathlib.Path(path)
         try:
             handle = open(path, "a", encoding="utf-8")
         except OSError as exc:
             raise CheckpointError(f"cannot append to sweep journal {path}: {exc}") from exc
-        journal = cls(path, handle)
+        journal = cls(path, handle, extra=extra, guard=guard)
         journal._write({"kind": "resume", "completed": completed})
         return journal
 
@@ -411,6 +432,10 @@ class SweepJournal:
         self._write(payload)
 
     def _write(self, payload: Dict[str, Any]) -> None:
+        if self._guard is not None:
+            self._guard()  # fencing: may raise LeaseLostError
+        if self._extra:
+            payload = {**payload, **self._extra}
         line = json.dumps(payload, separators=(",", ":"))
         try:
             self._handle.write(line + "\n")
@@ -469,6 +494,16 @@ class JournalSummary:
     """Per-run percentiles (``p50``/``p90``/``max``) — from the latest
     ``summary`` record when present, else recomputed from run records."""
 
+    leases: List[str] = field(default_factory=list)
+    """Lease tokens (``fence:owner``) seen on records, in first-appearance
+    order.  More than one token means the job changed hands — a service
+    restart resumed it, or a pool peer adopted it after a crash."""
+
+    @property
+    def adoptions(self) -> int:
+        """Ownership changes recorded in the journal itself."""
+        return max(0, len(self.leases) - 1)
+
     @property
     def missing(self) -> int:
         return self.total - len(self.completed)
@@ -486,6 +521,11 @@ class JournalSummary:
                  + (f", {len(self.retried)} retried" if self.retried else "")]
         if self.resumes:
             lines.append(f"resumes: {self.resumes}")
+        if self.leases:
+            chain = " -> ".join(self.leases)
+            suffix = (f" ({self.adoptions} handover(s))"
+                      if self.adoptions else "")
+            lines.append(f"leases: {chain}{suffix}")
         if self.truncated_tail:
             lines.append("truncated tail: yes — the final line is torn "
                          "(mid-write kill); that record was never durable")
@@ -518,7 +558,8 @@ class JournalSummary:
             "truncated_tail": self.truncated_tail,
             "bad_lines": self.bad_lines, "elapsed": self.elapsed,
             "latency": self.latency, "missing": self.missing,
-            "complete": self.complete,
+            "complete": self.complete, "leases": self.leases,
+            "adoptions": self.adoptions,
         }
 
 
@@ -550,6 +591,7 @@ def inspect_journal(path, keys: Optional[Sequence[str]] = None) -> JournalSummar
     bad_lines = 0
     truncated_tail = False
     summary_record: Optional[Dict[str, Any]] = None
+    leases: List[str] = []
     for lineno, line in enumerate(lines):
         try:
             payload = json.loads(line)
@@ -558,6 +600,9 @@ def inspect_journal(path, keys: Optional[Sequence[str]] = None) -> JournalSummar
             truncated_tail = lineno == len(lines) - 1
             continue
         kind = payload.get("kind")
+        token = payload.get("lease")
+        if isinstance(token, str) and (not leases or leases[-1] != token):
+            leases.append(token)
         if kind == "header":
             if header is None:
                 header = payload
@@ -613,7 +658,8 @@ def inspect_journal(path, keys: Optional[Sequence[str]] = None) -> JournalSummar
         retried=sorted(i for i, r in runs.items()
                        if int(r.get("attempts", 1)) > 1),
         resumes=resumes, truncated_tail=truncated_tail,
-        bad_lines=bad_lines, elapsed=elapsed, latency=latency)
+        bad_lines=bad_lines, elapsed=elapsed, latency=latency,
+        leases=leases)
 
 
 # -- signal draining --------------------------------------------------------
@@ -654,6 +700,31 @@ class _SignalDrain:
 
 
 # -- the supervisor ---------------------------------------------------------
+
+def _bind_worker_to_parent() -> None:
+    """Pool-worker initializer: die when the supervising process does.
+
+    A SIGKILLed supervisor gets no chance to tear its executor down, and
+    CPython's pool workers then block forever in their call-queue read —
+    each child holds its own write end of that pipe, so EOF never comes.
+    The worker-pool failover drills SIGKILL supervisors on purpose, and
+    every orphan is a leaked interpreter pinning a CPU slot.  On Linux,
+    ask the kernel to deliver SIGKILL on parent death instead; elsewhere
+    this is a no-op and the orphan is bounded by the drill, not by
+    production operation.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, int(signal.SIGKILL))
+        # The parent may have died between fork and prctl: check, and go.
+        if os.getppid() == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+    except Exception:
+        pass  # non-Linux / restricted libc: keep the old behaviour
+
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Forcibly replace a pool whose worker(s) hung: kill, then discard.
@@ -705,6 +776,8 @@ def run_supervised(
     resume: bool = False,
     strict: bool = False,
     worker: Optional[Callable[[RunSpec], RunResult]] = None,
+    journal_extra: Optional[Dict[str, Any]] = None,
+    journal_guard: Optional[Callable[[], None]] = None,
 ) -> SweepReport:
     """Run a sweep under the full supervision ladder.  See module docstring.
 
@@ -724,6 +797,12 @@ def run_supervised(
         worker: the per-spec callable executed in the worker process
             (default: the real simulation).  Must be picklable; exposed for
             fault-injection harnesses and tests.
+        journal_extra: fields stamped onto every journal record — the
+            worker pool passes its lease token here so journal lines carry
+            provable ownership.
+        journal_guard: called before every durable journal write; raises
+            (typically :class:`~repro.resilience.errors.LeaseLostError`)
+            to reject writes from a holder whose lease was reclaimed.
 
     Returns:
         A :class:`SweepReport` with ordered results and per-run outcomes.
@@ -756,9 +835,12 @@ def run_supervised(
                 outcome.attempts = int(record.get("attempts", 1))
                 outcome.elapsed = float(record.get("elapsed", 0.0))
                 outcome.from_journal = True
-            jrnl = SweepJournal.reopen(journal, completed=len(loaded))
+            jrnl = SweepJournal.reopen(journal, completed=len(loaded),
+                                       extra=journal_extra,
+                                       guard=journal_guard)
         else:
-            jrnl = SweepJournal.create(journal, keys)
+            jrnl = SweepJournal.create(journal, keys, extra=journal_extra,
+                                       guard=journal_guard)
     elif resume:
         raise CheckpointError("resume requested without a journal path")
 
@@ -832,7 +914,9 @@ def run_supervised(
                     if index is None:
                         break
                     if pool is None:
-                        pool = ProcessPoolExecutor(max_workers=jobs)
+                        pool = ProcessPoolExecutor(
+                            max_workers=jobs,
+                            initializer=_bind_worker_to_parent)
                     future = pool.submit(run, specs[index])
                     deadline = (now + policy.run_timeout
                                 if policy.run_timeout else None)

@@ -19,6 +19,9 @@ from repro.resilience.errors import (
     FaultInjectedError,
     JobNotFoundError,
     JobTimeoutError,
+    LeaseLostError,
+    PoolCorruptError,
+    PoolError,
     QuotaExceededError,
     ReproError,
     ServiceDrainingError,
@@ -72,6 +75,7 @@ class TestExitCodeTaxonomy:
         assert WorkerCrashError.exit_code == 7
         assert SweepInterrupted.exit_code == 8
         assert ServiceError.exit_code == 9
+        assert PoolError.exit_code == 10
 
     def test_service_subclasses_share_the_service_code(self):
         # Over HTTP the *status* is the discriminator; the process exit
@@ -81,6 +85,13 @@ class TestExitCodeTaxonomy:
             assert "exit_code" not in cls.__dict__
             assert cls.exit_code == 9
             assert cls.http_status in (404, 429, 503, 504)
+
+    def test_pool_subclasses_share_the_pool_code(self):
+        # A worker dying of a lost lease vs. a torn pool dir is diagnosed
+        # from its stderr; the exit code just says "the pool layer failed".
+        for cls in (LeaseLostError, PoolCorruptError):
+            assert "exit_code" not in cls.__dict__
+            assert cls.exit_code == 10
 
     @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md"])
     def test_every_declared_code_is_documented(self, doc):

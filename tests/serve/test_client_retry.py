@@ -1,0 +1,221 @@
+"""Client retry policy: bounded, deterministic, idempotency-aware.
+
+A scripted socket server plays the hostile side — shedding 429s (with and
+without ``Retry-After``), dropping connections mid-handshake — and the
+tests pin the client contract: 429 retries for every method (the request
+was rejected, not half-done), connection loss retries only for idempotent
+methods (a lost POST /jobs may have been admitted), and every schedule is
+deterministic so test runs never flake on jitter.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+import repro.serve.client as client_module
+from repro.serve.client import RetryPolicy, ServiceClient, ServiceHTTPError
+
+
+class ScriptedServer:
+    """Serve a fixed sequence of canned actions, one per connection.
+
+    An action is ``"reset"`` (accept then slam the connection shut) or
+    ``(status, headers, payload)``.  Connections beyond the script get a
+    500 so an over-retrying client fails loudly instead of hanging.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.hits = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # closed
+            action = (self.script[self.hits] if self.hits < len(self.script)
+                      else (500, {}, {"error": {"message": "script over"}}))
+            self.hits += 1
+            try:
+                if action == "reset":
+                    conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                    b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                    conn.close()
+                    continue
+                self._drain_request(conn)
+                status, headers, payload = action
+                body = json.dumps(payload).encode("utf-8")
+                lines = [f"HTTP/1.1 {status} X",
+                         "Content-Type: application/json",
+                         f"Content-Length: {len(body)}",
+                         "Connection: close"]
+                lines += [f"{k}: {v}" for k, v in headers.items()]
+                conn.sendall("\r\n".join(lines).encode("utf-8")
+                             + b"\r\n\r\n" + body)
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _drain_request(conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return
+            data += chunk
+        head = data.split(b"\r\n\r\n", 1)[0].lower()
+        for line in head.split(b"\r\n"):
+            if line.startswith(b"content-length:"):
+                want = int(line.split(b":", 1)[1])
+                body = data.split(b"\r\n\r\n", 1)[1]
+                while len(body) < want:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        return
+                    body += chunk
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture
+def fast_sleep(monkeypatch):
+    """Record the client's backoff sleeps instead of actually waiting."""
+    slept = []
+    monkeypatch.setattr(client_module.time, "sleep",
+                        lambda s: slept.append(s))
+    return slept
+
+
+def scripted(script):
+    return ScriptedServer(script)
+
+
+OK = (200, {}, {"ready": True})
+SHED = (429, {}, {"error": {"type": "ServiceSaturatedError",
+                            "message": "queue full"}})
+SHED_AFTER = (429, {"Retry-After": "0.125"},
+              {"error": {"type": "ServiceSaturatedError",
+                         "message": "queue full"}})
+POLICY = RetryPolicy(retries=3, base=0.01, cap=0.5)
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic(self):
+        a = [POLICY.delay(i) for i in range(4)]
+        b = [POLICY.delay(i) for i in range(4)]
+        assert a == b
+
+    def test_seeds_decorrelate_clients(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=2)
+        assert [a.delay(i) for i in range(4)] != [b.delay(i)
+                                                 for i in range(4)]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(retries=10, base=0.1, cap=1.0)
+        delays = [policy.delay(i) for i in range(10)]
+        assert all(0.05 <= d <= 1.0 for d in delays)
+        assert delays[-1] == 1.0  # 0.1 * 2**9 is far past the cap
+
+    def test_retry_after_wins_but_is_capped(self):
+        assert POLICY.delay(0, retry_after=0.125) == 0.125
+        assert POLICY.delay(0, retry_after=60.0) == 0.5
+        # A negative header is nonsense: fall back to computed backoff.
+        assert POLICY.delay(0, retry_after=-1) == POLICY.delay(0)
+
+
+class TestShedRetry:
+    def test_429_then_success_retries_post(self, fast_sleep):
+        server = scripted([SHED, SHED, OK])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=10.0,
+                                   retry=POLICY)
+            assert client._request("POST", "/jobs", body={}) == {"ready": True}
+            assert server.hits == 3
+            assert len(fast_sleep) == 2
+        finally:
+            server.close()
+
+    def test_retry_after_header_sets_the_delay(self, fast_sleep):
+        server = scripted([SHED_AFTER, OK])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=10.0,
+                                   retry=POLICY)
+            client._request("GET", "/queue")
+            assert fast_sleep == [0.125]
+        finally:
+            server.close()
+
+    def test_retries_exhausted_raises_the_429(self, fast_sleep):
+        server = scripted([SHED] * 10)
+        try:
+            client = ServiceClient(
+                "127.0.0.1", server.port, timeout=10.0,
+                retry=RetryPolicy(retries=2, base=0.01, cap=0.5))
+            with pytest.raises(ServiceHTTPError) as info:
+                client._request("GET", "/queue")
+            assert info.value.status == 429
+            assert server.hits == 3  # 1 try + 2 retries, then give up
+        finally:
+            server.close()
+
+    def test_no_policy_means_fail_fast(self):
+        server = scripted([SHED, OK])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=10.0)
+            with pytest.raises(ServiceHTTPError):
+                client._request("GET", "/queue")
+            assert server.hits == 1
+        finally:
+            server.close()
+
+    def test_non_429_errors_are_never_retried(self, fast_sleep):
+        server = scripted([(404, {}, {"error": {"message": "nope"}}), OK])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=10.0,
+                                   retry=POLICY)
+            with pytest.raises(ServiceHTTPError) as info:
+                client._request("GET", "/jobs/000001-x")
+            assert info.value.status == 404
+            assert server.hits == 1
+        finally:
+            server.close()
+
+
+class TestConnectionLoss:
+    def test_reset_retried_for_get(self, fast_sleep):
+        server = scripted(["reset", "reset", OK])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=10.0,
+                                   retry=POLICY)
+            assert client._request("GET", "/readyz") == {"ready": True}
+            assert server.hits == 3
+        finally:
+            server.close()
+
+    def test_reset_not_retried_for_post(self, fast_sleep):
+        # The lost POST may have been admitted server-side; a blind
+        # resubmit would duplicate the job.  The client must surface the
+        # failure to the caller instead.
+        server = scripted(["reset", OK])
+        try:
+            client = ServiceClient("127.0.0.1", server.port, timeout=10.0,
+                                   retry=POLICY)
+            with pytest.raises((ConnectionError, OSError,
+                                client_module.http.client.HTTPException)):
+                client._request("POST", "/jobs", body={"tenant": "a"})
+            assert server.hits == 1
+        finally:
+            server.close()

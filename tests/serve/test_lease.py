@@ -1,0 +1,177 @@
+"""Unit tests for the fenced lease protocol (repro.serve.lease).
+
+Everything here drives the protocol in-process — the two-process chaos
+suite (test_pool_chaos.py) proves the same properties against real
+SIGKILL/SIGSTOP; these tests pin the state machine precisely: CAS claims,
+fence monotonicity, expiry, zombie rejection, torn-file self-healing.
+"""
+
+import concurrent.futures
+import json
+import os
+import time
+
+import pytest
+
+from repro.resilience.errors import LeaseLostError, PoolCorruptError
+from repro.serve.lease import (
+    LEASE_DIR,
+    LeaseHandle,
+    acquire,
+    lease_token,
+    read_lease,
+)
+
+TTL = 0.3
+
+
+def test_acquire_fresh_job(tmp_path):
+    handle = acquire(tmp_path, "w0", ttl=TTL)
+    assert handle is not None
+    assert handle.fence == 1
+    assert handle.token == "1:w0"
+    state = read_lease(tmp_path)
+    assert state.fence == 1
+    assert state.owner == "w0"
+    assert not state.released
+    assert state.reclaims == 0
+    assert not state.expired(TTL)
+
+
+def test_held_lease_is_not_reacquirable(tmp_path):
+    assert acquire(tmp_path, "w0", ttl=TTL) is not None
+    assert acquire(tmp_path, "w1", ttl=TTL) is None
+
+
+def test_released_lease_is_immediately_claimable(tmp_path):
+    first = acquire(tmp_path, "w0", ttl=TTL)
+    first.release()
+    second = acquire(tmp_path, "w1", ttl=TTL)
+    assert second is not None
+    assert second.fence == 2
+    assert read_lease(tmp_path).owner == "w1"
+
+
+def test_expired_lease_is_reclaimed_with_higher_fence(tmp_path):
+    assert acquire(tmp_path, "dead", ttl=TTL) is not None
+    time.sleep(TTL * 1.5)
+    adopter = acquire(tmp_path, "peer", ttl=TTL)
+    assert adopter is not None
+    assert adopter.fence == 2
+    state = read_lease(tmp_path)
+    assert state.owner == "peer"
+    assert state.reclaims == 1
+
+
+def test_renew_keeps_lease_alive_past_ttl(tmp_path):
+    holder = acquire(tmp_path, "w0", ttl=TTL)
+    for _ in range(4):
+        time.sleep(TTL / 2)
+        holder.renew()
+    assert acquire(tmp_path, "w1", ttl=TTL) is None
+    assert read_lease(tmp_path).beats >= 4
+
+
+def test_zombie_check_and_renew_raise_after_reclaim(tmp_path):
+    zombie = acquire(tmp_path, "zombie", ttl=TTL)
+    time.sleep(TTL * 1.5)
+    assert acquire(tmp_path, "adopter", ttl=TTL) is not None
+    with pytest.raises(LeaseLostError):
+        zombie.check()
+    with pytest.raises(LeaseLostError):
+        zombie.renew()
+    # The zombie's release is a silent no-op: it must not mark the
+    # adopter's live fence as released.
+    zombie.release()
+    state = read_lease(tmp_path)
+    assert state.owner == "adopter"
+    assert not state.released
+
+
+def test_claim_cas_exactly_one_winner(tmp_path):
+    (tmp_path / LEASE_DIR).mkdir()
+    workers = 8
+    with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+        handles = list(pool.map(
+            lambda i: acquire(tmp_path, f"w{i}", ttl=30.0), range(workers)))
+    winners = [h for h in handles if h is not None]
+    assert len(winners) == 1
+    assert winners[0].fence == 1
+
+
+def test_torn_claim_file_still_fences_and_self_heals(tmp_path):
+    # A claimant that died between O_EXCL-create and writing its owner
+    # record: the empty file fences (owner "?"), and after one TTL (from
+    # its mtime) the job is adoptable.
+    lease_dir = tmp_path / LEASE_DIR
+    lease_dir.mkdir()
+    (lease_dir / "claim-000001").write_bytes(b"")
+    state = read_lease(tmp_path)
+    assert state.fence == 1
+    assert state.owner == "?"
+    assert acquire(tmp_path, "w0", ttl=30.0) is None  # still fencing
+    time.sleep(TTL * 1.5)
+    adopter = acquire(tmp_path, "w0", ttl=TTL)
+    assert adopter is not None
+    assert adopter.fence == 2
+
+
+def test_half_written_claim_json_is_tolerated(tmp_path):
+    lease_dir = tmp_path / LEASE_DIR
+    lease_dir.mkdir()
+    (lease_dir / "claim-000001").write_text('{"owner": "w0", "acq')
+    state = read_lease(tmp_path)
+    assert state.fence == 1
+    assert state.owner == "?"
+
+
+def test_read_lease_ignores_heartbeat_and_released_suffixes(tmp_path):
+    handle = acquire(tmp_path, "w0", ttl=TTL)
+    handle.renew()
+    handle.release()
+    # .hb/.released files must not be parsed as claims.
+    state = read_lease(tmp_path)
+    assert state.fence == 1
+    assert state.released
+
+
+def test_lease_state_to_json_shape(tmp_path):
+    acquire(tmp_path, "w0", ttl=TTL)
+    payload = read_lease(tmp_path).to_json()
+    assert payload["fence"] == 1
+    assert payload["owner"] == "w0"
+    assert payload["token"] == lease_token(1, "w0")
+    assert payload["reclaims"] == 0
+    assert payload["age"] >= 0.0
+    assert payload["heartbeat_age"] >= 0.0
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_read_lease_none_without_claims(tmp_path):
+    assert read_lease(tmp_path) is None
+    (tmp_path / LEASE_DIR).mkdir()
+    assert read_lease(tmp_path) is None
+
+
+def test_acquire_rejects_nonpositive_ttl(tmp_path):
+    with pytest.raises(PoolCorruptError):
+        acquire(tmp_path, "w0", ttl=0)
+
+
+def test_acquire_unwritable_lease_dir_is_pool_corrupt(tmp_path):
+    if os.geteuid() == 0:
+        pytest.skip("root ignores directory permissions")
+    job_dir = tmp_path / "job"
+    job_dir.mkdir()
+    os.chmod(job_dir, 0o500)
+    try:
+        with pytest.raises(PoolCorruptError):
+            acquire(job_dir, "w0", ttl=TTL)
+    finally:
+        os.chmod(job_dir, 0o700)
+
+
+def test_handle_check_passes_while_owner(tmp_path):
+    handle = acquire(tmp_path, "w0", ttl=TTL)
+    handle.check()  # no raise
+    assert isinstance(handle, LeaseHandle)

@@ -105,6 +105,51 @@ class TestClassification:
         assert entry.job.completed_runs == 2
         assert entry.job.latency["total"] == 1.25
 
+    @pytest.mark.parametrize("torn", [
+        b"",                       # crash before the first byte landed
+        b'{"state": "done", "ex',  # classic torn tail
+        b"null",                   # valid JSON, not an object
+        b"[1, 2]",                 # valid JSON, wrong shape
+        b"\x00\xff garbage",       # not JSON at all
+    ], ids=["empty", "truncated", "null", "list", "binary"])
+    def test_torn_status_is_interrupted_not_a_crash(self, tmp_path, torn):
+        # status.json is written durably (tmp + fsync + rename), so a torn
+        # or non-object file means completion never became durable: the
+        # journal decides, and a partial journal resumes.  Before this
+        # tolerance, recovery died with JSONDecodeError and took the whole
+        # restart down with it.
+        job = _make_job_dir(tmp_path)
+        _write_journal(job, completed=[0])
+        (job.job_dir / "status.json").write_bytes(torn)
+        entry = recover_job_dir(job.job_dir)
+        assert entry.phase == "interrupted"
+        assert entry.job.resume is True
+        assert entry.summary.completed == [0]
+
+    def test_torn_status_without_journal_is_queued(self, tmp_path):
+        job = _make_job_dir(tmp_path)
+        (job.job_dir / "status.json").write_text('{"sta')
+        entry = recover_job_dir(job.job_dir)
+        assert entry.phase == "queued"
+        assert entry.job.resume is False
+
+    def test_status_lease_provenance_is_recovered(self, tmp_path):
+        # Pool workers stamp the raw fencing token plus a worker field
+        # into the terminal status; recovery must normalise it to the
+        # dict shape the service keeps in memory.
+        job = _make_job_dir(tmp_path)
+        _write_journal(job, completed=[0, 1])
+        job.state = "done"
+        job.exit_code = 0
+        job.write_status()
+        status = json.loads((job.job_dir / "status.json").read_text())
+        status["lease"] = "2:bravo"
+        status["worker"] = "bravo"
+        write_json_durable(job.job_dir / "status.json", status)
+        entry = recover_job_dir(job.job_dir)
+        assert entry.phase == "terminal"
+        assert entry.job.lease == {"token": "2:bravo", "worker": "bravo"}
+
     def test_torn_spec_is_skipped_not_guessed(self, tmp_path):
         job_dir = tmp_path / "jobs" / "000009-evil"
         job_dir.mkdir(parents=True)

@@ -26,6 +26,7 @@ from repro.config import TINY
 from repro.resilience.errors import (
     CheckpointError,
     ConfigError,
+    LeaseLostError,
     SweepInterrupted,
     WorkerCrashError,
 )
@@ -479,3 +480,127 @@ def test_sigterm_drains_flushes_and_exits_distinct_code(tmp_path):
     resumed = run_supervised(specs, jobs=2, journal=journal, resume=True)
     assert resumed.ok
     assert resumed.resumed  # the drained runs were journaled before exit
+
+
+def _children_of(pid):
+    """Live pids whose /proc stat names ``pid`` as parent (Linux only)."""
+    kids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            stat = (pathlib.Path("/proc") / entry / "stat").read_text()
+        except OSError:
+            continue  # raced with an exit
+        # Field 4 is ppid; comm (field 2) may contain spaces — split after
+        # the closing paren.
+        ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        if ppid == pid:
+            kids.append(int(entry))
+    return kids
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="needs /proc + prctl")
+def test_sigkill_leaves_no_orphaned_pool_children(tmp_path):
+    # The worker-pool failover drills SIGKILL a supervisor *process* (not
+    # its group) mid-sweep.  Its executor fork-children must die with it
+    # — PR_SET_PDEATHSIG in _bind_worker_to_parent — instead of blocking
+    # forever on the inherited call-queue pipe as orphans of init.
+    journal = tmp_path / "sweep.jsonl"
+    process = _spawn_compare(journal)
+    try:
+        _wait_for_run_record(journal, process)
+        if process.poll() is not None:
+            pytest.skip("sweep finished before the kill landed")
+        deadline = time.monotonic() + 30.0
+        kids = _children_of(process.pid)
+        while not kids and time.monotonic() < deadline:
+            time.sleep(0.05)
+            kids = _children_of(process.pid)
+        assert kids, "executor never forked a pool child"
+        os.kill(process.pid, signal.SIGKILL)  # the supervisor ONLY
+        process.wait()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = [pid for pid in kids
+                     if pathlib.Path(f"/proc/{pid}").exists()]
+            if not alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"orphaned pool children survived: {alive}")
+    finally:
+        for pid in _children_of(process.pid) if process.poll() is None else []:
+            os.kill(pid, signal.SIGKILL)
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        process.wait()
+
+
+# -- journal fencing (worker-pool integration) -------------------------------
+
+def test_journal_extra_stamps_every_record(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    run_supervised(_specs(["a", "b"]), jobs=1, journal=journal,
+                   policy=SweepPolicy(**FAST), worker=_scripted_worker,
+                   journal_extra={"lease": "1:w0", "worker": "w0"})
+    records = [json.loads(line) for line in journal.read_text().splitlines()]
+    assert records and all(r["lease"] == "1:w0" for r in records)
+    assert all(r["worker"] == "w0" for r in records)
+    # Loaders ignore the stamps: the journal still resumes/validates.
+    summary = inspect_journal(journal)
+    assert summary.complete
+    assert summary.leases == ["1:w0"]
+    assert summary.adoptions == 0
+
+
+def test_journal_guard_aborts_before_the_write(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    writes = []
+
+    def guard():
+        # header + first run record allowed, then the fence is lost.
+        if len(writes) >= 2:
+            raise LeaseLostError("job adopted by a peer at fence 2")
+        writes.append(1)
+
+    with pytest.raises(LeaseLostError):
+        run_supervised(_specs(["a", "b", "c"]), jobs=1, journal=journal,
+                       policy=SweepPolicy(**FAST), worker=_scripted_worker,
+                       journal_guard=guard)
+    # Nothing landed after the guard tripped: exactly header + one run.
+    lines = journal.read_text().splitlines()
+    assert [json.loads(line)["kind"] for line in lines] == ["header", "run"]
+
+
+def test_inspect_journal_renders_the_handover_chain(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    specs = _specs(["ok", "fail", "ok"])
+    run_supervised(specs, jobs=1, journal=journal,
+                   policy=SweepPolicy(**FAST), worker=_scripted_worker,
+                   journal_extra={"lease": "1:alpha", "worker": "alpha"})
+    # A peer adopts (resume under the next fence) and finishes the sweep.
+    marker_free = inspect_journal(journal)
+    assert marker_free.leases == ["1:alpha"]
+    run_supervised(specs, jobs=1, journal=journal, resume=True,
+                   policy=SweepPolicy(retries=1, **FAST),
+                   worker=_scripted_worker,
+                   journal_extra={"lease": "2:bravo", "worker": "bravo"})
+    summary = inspect_journal(journal)
+    assert summary.leases == ["1:alpha", "2:bravo"]
+    assert summary.adoptions == 1
+    rendered = summary.render()
+    assert "1:alpha" in rendered and "2:bravo" in rendered
+    assert "handover" in rendered
+    assert summary.to_json()["adoptions"] == 1
+
+
+def test_unfenced_journals_report_no_leases(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    run_supervised(_specs(["a"]), jobs=1, journal=journal,
+                   policy=SweepPolicy(**FAST), worker=_scripted_worker)
+    summary = inspect_journal(journal)
+    assert summary.leases == []
+    assert summary.adoptions == 0
+    assert "leases" not in summary.render()

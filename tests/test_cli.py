@@ -163,6 +163,73 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPoolCommands:
+    def _admit(self, pool_dir):
+        from repro.serve.jobs import JobSpec
+        from repro.serve.pool import SharedPool
+
+        pool = SharedPool.ensure(pool_dir, heartbeat=0.2, misses=3)
+        return pool.admit(JobSpec.from_payload(
+            {"tenant": "cli", "workload": "MIX 01",
+             "schemes": ["morphcache"], "preset": "tiny", "epochs": 2,
+             "seed": 5, "trace": False}))
+
+    def test_worker_init_drains_a_job(self, tmp_path, capsys):
+        pool_dir = str(tmp_path / "pool")
+        self._admit(tmp_path / "pool")
+        assert main(["worker", "--pool", pool_dir, "--worker-id", "cli-w",
+                     "--drain"]) == 0
+        assert "1 job(s) completed" in capsys.readouterr().err
+
+    def test_worker_init_creates_an_empty_pool(self, tmp_path, capsys):
+        pool_dir = str(tmp_path / "fresh")
+        assert main(["worker", "--pool", pool_dir, "--init", "--drain",
+                     "--heartbeat", "0.5", "--misses", "2"]) == 0
+        from repro.serve.pool import SharedPool
+        assert SharedPool.open(pool_dir).config.ttl == 1.0
+
+    def test_worker_against_missing_pool_exits_10(self, tmp_path, capsys):
+        code = main(["worker", "--pool", str(tmp_path / "nope"), "--drain"])
+        assert code == 10
+        assert "error:" in capsys.readouterr().err
+
+    def test_pool_status_renders_and_jsons(self, tmp_path, capsys):
+        pool_dir = str(tmp_path / "pool")
+        job = self._admit(tmp_path / "pool")
+        assert main(["worker", "--pool", pool_dir, "--worker-id", "cli-w",
+                     "--drain"]) == 0
+        capsys.readouterr()
+        assert main(["pool", "status", pool_dir]) == 0
+        rendered = capsys.readouterr().out
+        assert job.id in rendered
+        assert "done" in rendered and "cli-w" in rendered
+        assert main(["pool", "status", pool_dir, "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"done": 1}
+        assert payload["reclaims"] == 0
+        assert payload["jobs"][0]["worker"] == "cli-w"
+        assert payload["workers"][0]["jobs_done"] == 1
+
+    def test_pool_status_of_missing_pool_exits_10(self, tmp_path, capsys):
+        code = main(["pool", "status", str(tmp_path / "nope")])
+        assert code == 10
+        assert "error:" in capsys.readouterr().err
+
+    def test_journal_json_surfaces_the_lease_chain(self, tmp_path, capsys):
+        pool_dir = str(tmp_path / "pool")
+        job = self._admit(tmp_path / "pool")
+        assert main(["worker", "--pool", pool_dir, "--worker-id", "cli-w",
+                     "--drain"]) == 0
+        capsys.readouterr()
+        assert main(["journal", str(job.job_dir / "journal.jsonl"),
+                     "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["leases"] == ["1:cli-w"]
+        assert payload["adoptions"] == 0
+
+
 class TestExitCodes:
     def test_bad_fault_spec_exits_3(self, capsys):
         code = main(["run", "--workload", "MIX 01", "--preset", "tiny",

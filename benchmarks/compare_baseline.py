@@ -3,17 +3,26 @@
 Usage::
 
     python benchmarks/compare_baseline.py BASELINE.json FRESH.json \
-        [--threshold FRACTION]
+        [--threshold FRACTION] [--gate PATH ...]
 
 Walks both JSON trees and compares every shared numeric leaf that is a
 throughput measurement (anything except metadata keys).  When a fresh
 number falls more than the threshold (default ``THRESHOLD``) below the
 committed baseline it emits a GitHub Actions ``::warning::`` annotation so
 the regression is visible on the PR without gating it — shared runners are
-too noisy for a hard fail.  Always exits 0; the caller decides what (if
-anything) gates.  The trace-overhead smoke job passes ``--threshold 0.02``:
-the observability layer's contract is that the disabled path stays within
-2% of the committed hot-path baseline.
+too noisy for a hard fail on raw throughput.
+
+``--gate PATH`` (repeatable, dotted leaf path such as ``speedup.merged``)
+promotes specific leaves to a **ratchet**: a gated leaf that regresses
+beyond the threshold — or is missing from the fresh measurement entirely —
+is an ``::error::`` and the script exits 1.  Gates are meant for
+*ratios* (batch-vs-event speedups), which divide out runner speed and are
+stable where absolute accesses/second are not; CI gates the batch engine's
+merged/shared speedups this way so the slice-group kernel cannot silently
+lose its advantage.  Without ``--gate`` the script always exits 0.  The
+trace-overhead smoke job passes ``--threshold 0.02``: the observability
+layer's contract is that the disabled path stays within 2% of the
+committed hot-path baseline.
 """
 
 from __future__ import annotations
@@ -65,6 +74,12 @@ def main(argv) -> int:
                         metavar="FRACTION",
                         help="fractional drop below baseline that trips a "
                              f"warning (default {THRESHOLD})")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="PATH",
+                        help="dotted leaf path (e.g. speedup.merged) whose "
+                             "regression beyond the threshold, or absence "
+                             "from the fresh file, fails the run (exit 1); "
+                             "repeatable")
     try:
         args = parser.parse_args(argv[1:])
     except SystemExit:
@@ -77,15 +92,34 @@ def main(argv) -> int:
     fresh = json.loads(fresh_path.read_text())
     regressions = compare(baseline, fresh, baseline_path.stem,
                           threshold=args.threshold)
+    gated = set(args.gate)
+    failures = []
     for label, path, base_value, got in regressions:
         drop = 100.0 * (1.0 - got / base_value)
-        print(f"::warning title=bench regression ({label})::"
-              f"{path}: {got:.0f} vs committed {base_value:.0f} "
+        severity = "error" if path in gated else "warning"
+        print(f"::{severity} title=bench regression ({label})::"
+              f"{path}: {got:.2f} vs committed {base_value:.2f} "
               f"(-{drop:.0f}%, threshold {args.threshold:.0%})")
-    if not regressions:
+        if path in gated:
+            failures.append(path)
+    base_map = dict(_leaves(baseline))
+    fresh_map = dict(_leaves(fresh))
+    for path in sorted(gated):
+        # A gate over a leaf that vanished (renamed topology, dropped
+        # section) must fail loudly, not silently stop ratcheting.
+        if path not in base_map:
+            print(f"::error title=bench gate::{path} not in committed "
+                  f"baseline {baseline_path.name}")
+            failures.append(path)
+        elif path not in fresh_map:
+            print(f"::error title=bench gate::{path} missing from fresh "
+                  f"measurement {fresh_path.name}")
+            failures.append(path)
+    if not regressions and not failures:
         print(f"{baseline_path.name}: all measurements within "
-              f"{args.threshold:.0%} of the committed baseline")
-    return 0
+              f"{args.threshold:.0%} of the committed baseline"
+              + (f" (gated: {', '.join(sorted(gated))})" if gated else ""))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -174,6 +174,21 @@ class CacheSlice:
         """
         return self._index[set_index]
 
+    def set_buckets(self) -> List[Dict[int, "Entry"]]:
+        """All per-set recency dicts, indexed by set (LRU victim = first
+        value of each dict).  Lockstep with :meth:`way_lists`; same direct
+        mutation contract as :meth:`set_bucket`."""
+        return self._index
+
+    def way_lists(self) -> List[List[Entry]]:
+        """All per-set way lists in digest order, indexed by set.
+
+        The batch kernels hoist these once per epoch and mutate them
+        directly (keeping :meth:`set_buckets` in lockstep), which is what
+        fixes the checkpoint/digest iteration order they must preserve.
+        """
+        return self._data
+
     def export_arrays(self) -> Dict[str, np.ndarray]:
         """Snapshot the slice state as parallel numpy arrays.
 

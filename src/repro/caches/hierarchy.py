@@ -379,6 +379,49 @@ class CacheHierarchy:
         config = self.config
         return min(config.l1.sets, config.l2_slice.sets, config.l3_slice.sets)
 
+    def group_line_index(
+        self, level: str, group: Tuple[int, ...]
+    ) -> Tuple[Dict[int, int], Dict[int, Set[int]]]:
+        """Aggregate residency view of one slice group at ``level``.
+
+        Returns ``(index, dups)``: ``index`` maps each resident line to the
+        slice holding it, or to ``-1`` when several slices hold copies (the
+        duplicates a merge leaves behind, resolved lazily on the next hit);
+        ``dups`` then lists the holding slices.  Fault-disabled slices are
+        naturally absent — they are flushed when they go offline.
+
+        This is the scatter/gather substrate of the batch engine's group
+        kernel: one scan replaces the per-access probe of every slice in
+        the group, and the kernel keeps the maps current incrementally.
+        """
+        slices = self.l2s if level == L2 else self.l3s
+        index: Dict[int, int] = {}
+        dups: Dict[int, Set[int]] = {}
+        for slice_id in group:
+            for line in slices[slice_id].resident_lines():
+                prev = index.setdefault(line, slice_id)
+                if prev != slice_id:
+                    dups.setdefault(line, {prev} if prev >= 0 else set()) \
+                        .add(slice_id)
+                    index[line] = -1
+        return index, dups
+
+    def max_access_latency(self) -> int:
+        """Upper bound on the latency any single access can return.
+
+        Used by the batch engine to bound the cycles an epoch can add when
+        checking :meth:`~repro.cpu.core_model.CoreTimingModel.
+        batch_summation_exact`.  Covers the worst remote merged hit (full
+        segmented-bus span plus any active bus-fault penalty) and the
+        coherence invalidation adder; deliberately a loose over-estimate.
+        """
+        lat = self.config.latency
+        span = max(0, self.config.cores - 2) * lat.distance_cycles_per_hop
+        worst_remote = max(lat.l2_merged_hit, lat.l3_merged_hit) + span \
+            + self.bus_penalty
+        return max(lat.l1_hit, lat.l2_local_hit, lat.l3_local_hit,
+                   lat.memory, worst_remote) + lat.coherence_invalidate
+
     def advance_stamp(self, count: int) -> int:
         """Consume ``count`` stamps; returns the stamp *before* the first.
 

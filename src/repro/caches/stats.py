@@ -48,17 +48,23 @@ class CoreStats:
 
     def add_access_counts(self, accesses: int, l1_hits: int,
                           l2_local_hits: int, l3_local_hits: int,
-                          memory_accesses: int, memory_cycles: int) -> None:
+                          memory_accesses: int, memory_cycles: int,
+                          l2_remote_hits: int = 0,
+                          l3_remote_hits: int = 0) -> None:
         """Fold a batch of per-level access counts into the counters.
 
         The batch engine counts levels in plain local integers during its
         kernel loop and flushes once per epoch; integer addition commutes,
-        so the totals are identical to per-access increments.
+        so the totals are identical to per-access increments.  The remote
+        counts only arise under merged topologies (the group kernel); the
+        private kernels leave them at the default 0.
         """
         self.accesses += accesses
         self.l1_hits += l1_hits
         self.l2_local_hits += l2_local_hits
+        self.l2_remote_hits += l2_remote_hits
         self.l3_local_hits += l3_local_hits
+        self.l3_remote_hits += l3_remote_hits
         self.memory_accesses += memory_accesses
         self.memory_cycles += memory_cycles
 

@@ -1,0 +1,196 @@
+"""Property suite: random topologies x random traces, event vs batch.
+
+The differential suite (``test_batch_equivalence.py``) pins the named
+topologies the paper evaluates; this file drives the *space* around them.
+Hypothesis draws whole machines — core count, arbitrary (non-contiguous,
+permuted) slice groupings at both levels with L2 groups refining L3
+groups, and per-core traces whose shared-line density ranges from fully
+disjoint to fully shared — and requires the batch engine to stay
+bit-identical to the event engine:
+
+- the per-epoch :func:`~repro.resilience.checkpoint.state_digest` sequence
+  must match epoch by epoch, so a shrunk counterexample names the *first
+  divergent epoch* (the same localisation discipline as
+  ``test_epoch_digest_audit.py``), not an end-of-run hash mismatch;
+- timer cycles must match at ``repr`` precision (bit-identical floats);
+- full runs through :func:`~repro.sim.engine.simulate` must produce
+  **byte-identical trace files** (``TraceRecorder`` JSONL with
+  ``epoch_digests=True``), the strongest observable-equality statement
+  the simulator can make;
+- every epoch must land on the expected dispatch tier — a multi-slice
+  topology that falls through to ``batch-general`` is a failure even when
+  the state matches, because the speedup is the point.
+
+The custom geometry (``l1=CacheGeometry(4, 4)``) raises ``partition_sets``
+above TINY's 1 so the group kernel's set-partition reordering is actually
+exercised; plain TINY would run every trace in original order.
+
+``tempfile.TemporaryDirectory`` is used instead of the ``tmp_path``
+fixture: Hypothesis calls the test body many times per fixture instance,
+and a per-example directory keeps the trace files independent.
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TINY, CacheGeometry
+from repro.cpu.cmp import CmpSystem
+from repro.cpu.core_model import CoreTimingModel
+from repro.obs.trace import TraceRecorder
+from repro.resilience.checkpoint import state_digest
+from repro.sim.batch import (
+    MERGED_KERNEL,
+    PRIVATE_KERNEL,
+    PRIVATE_PERCORE,
+    SHARED_KERNEL,
+    run_epoch_batch,
+)
+from repro.sim.engine import run_epoch, simulate
+from repro.sim.workload import Workload
+from repro.workloads import MIXES, PARSEC_BENCHMARKS
+
+SEED = 11
+
+
+# -- strategies --------------------------------------------------------------
+
+def _draw_partition(draw, items):
+    """Partition ``items`` (order kept) into non-empty consecutive groups."""
+    groups, start = [], 0
+    while start < len(items):
+        size = draw(st.integers(1, len(items) - start))
+        groups.append(tuple(items[start:start + size]))
+        start += size
+    return groups
+
+
+def _draw_topology(draw, cores):
+    """A random legal topology: L2 groups refine L3 groups.
+
+    Slices are permuted first, so groups are arbitrary subsets — not the
+    contiguous ranges the ``(x:y:z)`` labels produce — which stresses the
+    search-order and residency-map logic with shapes no label can express.
+    """
+    order = draw(st.permutations(list(range(cores))))
+    l3_groups = _draw_partition(draw, list(order))
+    l2_groups = [g
+                 for l3 in l3_groups
+                 for g in _draw_partition(draw, list(l3))]
+    return l2_groups, l3_groups
+
+
+class _Trace:
+    """Minimal EpochTrace stand-in with the three arrays the engines read."""
+
+    def __init__(self, lines, writes):
+        self.lines = np.asarray(lines, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=bool)
+        self.gaps = np.zeros(len(lines), dtype=np.int32)
+
+
+def _core_lines(draw, core, length, density):
+    """Per-core line addresses at the drawn shared-line density.
+
+    ``density`` 0 = disjoint per-core pools, 2 = one machine-wide pool
+    (maximum duplicates/coherence), 1 = an even mix of both.  Pools are
+    tiny so every level sees constant collisions and evictions.
+    """
+    shared = st.integers(0, 39)
+    private = st.integers(1000 + core * 64, 1000 + core * 64 + 39)
+    strat = (private, st.one_of(shared, private), shared)[density]
+    return draw(st.lists(strat, min_size=length, max_size=length))
+
+
+def _expected_tags(l2_groups, l3_groups):
+    if all(len(g) == 1 for g in list(l2_groups) + list(l3_groups)):
+        return (PRIVATE_PERCORE, PRIVATE_KERNEL)
+    if len(l2_groups) == 1:
+        return (SHARED_KERNEL,)
+    return (MERGED_KERNEL,)
+
+
+# -- raw-epoch property: digests + timers, first divergent epoch named -------
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_random_topologies_and_traces_identical(data):
+    draw = data.draw
+    cores = draw(st.sampled_from([4, 8, 16]))
+    config = TINY.with_(cores=cores, l1=CacheGeometry(4, 4))
+    l2_groups, l3_groups = _draw_topology(draw, cores)
+    density = draw(st.integers(0, 2))
+    length = draw(st.integers(8, 40))
+    n_epochs = draw(st.integers(1, 3))
+    expected = _expected_tags(l2_groups, l3_groups)
+
+    systems = []
+    for _ in range(2):
+        system = CmpSystem(config, static_label=f"(1:1:{cores})")
+        system.hierarchy.set_topology(l2_groups, l3_groups)
+        systems.append(system)
+
+    for epoch in range(n_epochs):
+        traces = {
+            core: _Trace(_core_lines(draw, core, length, density),
+                         draw(st.lists(st.booleans(), min_size=length,
+                                       max_size=length)))
+            for core in range(cores)
+        }
+        timer_sets = [
+            {core: CoreTimingModel(config.issue_width,
+                                   memory_latency=config.latency.memory)
+             for core in range(cores)}
+            for _ in range(2)
+        ]
+        run_epoch(systems[0], traces, timer_sets[0], length)
+        tag = run_epoch_batch(systems[1], traces, timer_sets[1], length)
+        assert tag in expected, (tag, expected, l2_groups, l3_groups)
+        assert state_digest(systems[0]) == state_digest(systems[1]), \
+            f"state diverged at epoch {epoch} (first divergent epoch)"
+        for core in range(cores):
+            a, b = timer_sets[0][core], timer_sets[1][core]
+            assert repr(a.cycles) == repr(b.cycles), (epoch, core)
+            assert a.instructions == b.instructions
+        systems[0].end_epoch()
+        systems[1].end_epoch()
+
+
+# -- full-run property: byte-identical trace files ---------------------------
+
+@settings(max_examples=6, deadline=None)
+@given(data=st.data())
+def test_trace_files_byte_identical_across_engines(data):
+    draw = data.draw
+    config = TINY.with_(epochs=2)
+    l2_groups, l3_groups = _draw_topology(draw, config.cores)
+    if draw(st.booleans()):
+        workload = Workload.from_mix(MIXES[draw(st.integers(0, 1))])
+    else:
+        workload = Workload.from_parsec(
+            draw(st.sampled_from(sorted(PARSEC_BENCHMARKS))))
+
+    files, digests = {}, {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for engine in ("event", "batch"):
+            system = CmpSystem(config, static_label=f"(1:1:{config.cores})")
+            system.hierarchy.set_topology(l2_groups, l3_groups)
+            path = pathlib.Path(tmp) / f"{engine}.jsonl"
+            with TraceRecorder(path=path, epoch_digests=True) as tracer:
+                simulate(system, workload, config, seed=SEED, engine=engine,
+                         tracer=tracer)
+                digests[engine] = [(r["epoch"], r["digest"])
+                                   for r in tracer.records("epoch")]
+            files[engine] = path.read_bytes()
+
+    # Digest-by-digest first, so a shrunk failure names the first bad epoch
+    # instead of dumping a JSONL diff.
+    assert len(digests["event"]) == len(digests["batch"])
+    for (epoch, event_digest), (_, batch_digest) in zip(digests["event"],
+                                                        digests["batch"]):
+        assert event_digest == batch_digest, \
+            f"state diverged at epoch {epoch} (first divergent epoch)"
+    assert files["event"] == files["batch"], (l2_groups, l3_groups)

@@ -1,0 +1,117 @@
+"""Golden fixtures for merged/shared topologies at 16 and 64 cores.
+
+The digest-audit suite (``test_epoch_digest_audit.py``) pins morphcache and
+the fully-shared 16-core static; this file extends the same discipline to
+the slice-group kernel's whole dispatch matrix — merged and shared shapes
+at both the paper's 16-core scale and the 64-core stretch scale the batch
+benchmark times (``benchmarks/bench_batch.py``).  Each case pins, per
+engine:
+
+- the per-epoch ``state_digest`` sequence (every cache entry, stamp, LRU
+  order, stat and ACFV), asserted epoch by epoch so a regression names the
+  first bad epoch;
+- the per-epoch total miss count (a human-legible early warning: a digest
+  mismatch with equal misses points at state layout, not behaviour).
+
+Both engines must also produce *the same* golden sequence (the
+bit-identical guarantee); a recapture that bakes in an engine divergence
+fails ``test_golden_sequences_agree_across_engines`` rather than landing
+silently.  If this suite fails after an *intentional* behaviour change,
+recapture with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json, pathlib
+    from tests.sim.test_golden_scaled_topologies import (
+        CASES, SEED, _config, _sequence, _workload)
+    golden = {}
+    for case, (label, cores) in CASES.items():
+        golden[case] = {"label": label, "cores": cores}
+        for engine in ("event", "batch"):
+            golden[case][engine] = [
+                {"epoch": e, "digest": d, "misses": m}
+                for e, d, m in _sequence(label, cores, engine)]
+    pathlib.Path("tests/sim/golden_scaled_topologies.json").write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    PY
+
+Never loosen the comparison.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import TINY
+from repro.obs.trace import TraceRecorder
+from repro.sim.engine import simulate
+from repro.sim.experiment import build_system
+from repro.sim.workload import Workload
+from repro.workloads import MIXES
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_scaled_topologies.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+SEED = 7
+
+#: case -> (static label, cores).  The 16-core pair mirrors the paper's
+#: merged/shared statics; the 64-core pair mirrors the benchmark's stretch
+#: scale, where group search orders span 16-64 slices.
+CASES = {
+    "merged16": ("(4:4:1)", 16),
+    "shared16": ("(16:1:1)", 16),
+    "merged64": ("(4:4:4)", 64),
+    "shared64": ("(64:1:1)", 64),
+}
+
+
+def _config(cores):
+    config = TINY.with_(epochs=3)
+    if cores != TINY.cores:
+        # Shorter epochs keep the 64-core event runs CI-cheap; the state
+        # still turns over every set several times.
+        config = config.with_(cores=cores, accesses_per_core_per_epoch=150)
+    return config
+
+
+def _workload(cores):
+    base = Workload.from_mix(MIXES[0])
+    reps = cores // len(base.models)
+    if reps == 1:
+        return base
+    return Workload(name=f"{base.name} x{reps}", models=base.models * reps)
+
+
+def _sequence(label, cores, engine):
+    config = _config(cores)
+    workload = _workload(cores)
+    system = build_system(label, config, workload, seed=SEED)
+    tracer = TraceRecorder(epoch_digests=True)
+    simulate(system, workload, config, seed=SEED, engine=engine,
+             tracer=tracer)
+    return [(r["epoch"], r["digest"], sum(r["misses"].values()))
+            for r in tracer.records("epoch")]
+
+
+@pytest.mark.parametrize("engine", ["event", "batch"])
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_scaled_topology_matches_golden(case, engine):
+    label, cores = CASES[case]
+    got = _sequence(label, cores, engine)
+    want = [(e["epoch"], e["digest"], e["misses"])
+            for e in GOLDEN[case][engine]]
+    assert len(got) == len(want)
+    for (epoch, digest, misses), (want_epoch, want_digest, want_misses) \
+            in zip(got, want):
+        assert epoch == want_epoch
+        assert misses == want_misses, (
+            f"{case}/{engine}: miss count diverged at epoch {epoch} "
+            f"(first bad epoch)")
+        assert digest == want_digest, (
+            f"{case}/{engine}: state diverged at epoch {epoch} "
+            f"(first bad epoch)")
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_golden_sequences_agree_across_engines(case):
+    assert GOLDEN[case]["event"] == GOLDEN[case]["batch"]
